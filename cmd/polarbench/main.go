@@ -1,0 +1,84 @@
+// Command polarbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	polarbench list               # show available experiment ids
+//	polarbench all [-quick]       # run everything
+//	polarbench fig7 table3 ...    # run specific experiments
+//
+// -quick shrinks functional op counts (CI-sized); the default sizes match
+// the results recorded in EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"polarcxlmem/internal/bench"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "CI-sized runs (smaller datasets and op counts)")
+	csvDir := flag.String("csv", "", "also write each table as CSV into this directory")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: polarbench [-quick] list|all|<experiment-id>...\n\nexperiments:\n")
+		for _, e := range bench.Experiments() {
+			fmt.Fprintf(os.Stderr, "  %-8s %s\n", e.ID, e.Title)
+		}
+	}
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if args[0] == "list" {
+		for _, e := range bench.Experiments() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	var ids []string
+	if args[0] == "all" {
+		for _, e := range bench.Experiments() {
+			ids = append(ids, e.ID)
+		}
+	} else {
+		ids = args
+	}
+	cfg := bench.Config{Quick: *quick}
+	for _, id := range ids {
+		e, ok := bench.ByID(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "polarbench: unknown experiment %q (try 'list')\n", id)
+			os.Exit(1)
+		}
+		start := time.Now()
+		tables, err := e.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "polarbench: %s failed: %v\n", id, err)
+			os.Exit(1)
+		}
+		for i, t := range tables {
+			t.Print(os.Stdout)
+			if *csvDir != "" {
+				if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+					fmt.Fprintln(os.Stderr, "polarbench:", err)
+					os.Exit(1)
+				}
+				name := filepath.Join(*csvDir, fmt.Sprintf("%s_%d.csv", id, i))
+				f, err := os.Create(name)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "polarbench:", err)
+					os.Exit(1)
+				}
+				t.CSV(f)
+				f.Close()
+			}
+		}
+		fmt.Printf("  [%s completed in %.1fs wall time]\n", id, time.Since(start).Seconds())
+	}
+}

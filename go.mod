@@ -1,0 +1,3 @@
+module polarcxlmem
+
+go 1.24

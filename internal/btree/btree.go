@@ -1,0 +1,284 @@
+// Package btree implements the B+tree index the transaction engine stores
+// tables in. It runs unchanged over every buffer pool in the repository —
+// DRAM, tiered-RDMA, PolarCXLMem — because all page access goes through the
+// page.Accessor a frame provides.
+//
+// Concurrency model: readers descend with latch coupling (child latched
+// before parent released), writers serialize on a per-tree mutex and latch
+// only the leaf for in-place DML; structure modification operations (SMOs)
+// run as separate durable mini-transactions that write-latch the affected
+// path top-down and split preemptively, so a DML retry after an SMO always
+// fits. This mirrors the paper's description of SMO mini-transactions with
+// two-phase page locking (§3.2) — and a crash anywhere inside an SMO leaves
+// all touched pages write-locked in CXL metadata, which is exactly the
+// signal PolarRecv uses to rebuild them from redo.
+package btree
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+
+	"polarcxlmem/internal/buffer"
+	"polarcxlmem/internal/mtr"
+	"polarcxlmem/internal/page"
+	"polarcxlmem/internal/simclock"
+	"polarcxlmem/internal/wal"
+)
+
+// ErrKeyNotFound reports a missing key.
+var ErrKeyNotFound = errors.New("btree: key not found")
+
+// KV is one record.
+type KV struct {
+	Key int64
+	Val []byte
+}
+
+// Tree is a B+tree rooted under a meta page.
+type Tree struct {
+	pool   buffer.Pool
+	log    *wal.Log
+	ids    *mtr.IDGen
+	metaID uint64
+
+	wmu sync.Mutex // serializes writers (readers use latch coupling only)
+
+	// hook, when set, aborts SMOs at named steps for crash-injection tests.
+	hook func(step string) error
+}
+
+// Create builds an empty tree: a meta page whose Aux word holds the root
+// id, and an empty leaf root. The creation is a durable mini-transaction.
+func Create(clk *simclock.Clock, pool buffer.Pool, log *wal.Log, ids *mtr.IDGen) (*Tree, error) {
+	m := mtr.Begin(clk, pool, log, ids.Next())
+	meta, err := m.New()
+	if err != nil {
+		return nil, err
+	}
+	if err := m.InitPage(meta, page.TypeMeta, 0); err != nil {
+		return nil, err
+	}
+	root, err := m.New()
+	if err != nil {
+		return nil, err
+	}
+	if err := m.InitPage(root, page.TypeLeaf, 0); err != nil {
+		return nil, err
+	}
+	if err := m.SetAux(meta, root.ID()); err != nil {
+		return nil, err
+	}
+	if err := m.Commit(true); err != nil {
+		return nil, err
+	}
+	return &Tree{pool: pool, log: log, ids: ids, metaID: meta.ID()}, nil
+}
+
+// Open attaches to an existing tree by its meta page id.
+func Open(clk *simclock.Clock, pool buffer.Pool, log *wal.Log, ids *mtr.IDGen, metaID uint64) (*Tree, error) {
+	f, err := pool.Get(clk, metaID, buffer.Read)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Release()
+	typ, err := page.Wrap(f).Type()
+	if err != nil {
+		return nil, err
+	}
+	if typ != page.TypeMeta {
+		return nil, fmt.Errorf("btree: page %d is not a meta page (type %d)", metaID, typ)
+	}
+	return &Tree{pool: pool, log: log, ids: ids, metaID: metaID}, nil
+}
+
+// MetaID reports the tree's meta page id (catalog bootstrap).
+func (t *Tree) MetaID() uint64 { return t.metaID }
+
+// SetHook installs the SMO crash-injection hook (tests only).
+func (t *Tree) SetHook(h func(step string) error) { t.hook = h }
+
+func (t *Tree) step(name string) error {
+	if t.hook != nil {
+		return t.hook(name)
+	}
+	return nil
+}
+
+// rootID reads the current root id from the meta page.
+func (t *Tree) rootID(clk *simclock.Clock) (uint64, error) {
+	f, err := t.pool.Get(clk, t.metaID, buffer.Read)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Release()
+	return page.Wrap(f).Aux()
+}
+
+// childFor routes key within an internal page: the entry with the largest
+// key <= the search key; the leftmost entry doubles as -infinity.
+func childFor(pg page.Page, key int64) (uint64, error) {
+	n, err := pg.NSlots()
+	if err != nil {
+		return 0, err
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("btree: empty internal page")
+	}
+	i, err := pg.LowerBound(key)
+	if err != nil {
+		return 0, err
+	}
+	if i >= n {
+		i = n - 1
+	} else {
+		k, err := pg.KeyAt(i)
+		if err != nil {
+			return 0, err
+		}
+		if k != key {
+			i--
+			if i < 0 {
+				i = 0
+			}
+		}
+	}
+	v, err := pg.ValAt(i)
+	if err != nil {
+		return 0, err
+	}
+	if len(v) != 8 {
+		return 0, fmt.Errorf("btree: internal entry value of %d bytes", len(v))
+	}
+	return binary.LittleEndian.Uint64(v), nil
+}
+
+// descendToLeaf latch-couples from the root to the leaf responsible for
+// key, returning the leaf frame latched in leafMode.
+func (t *Tree) descendToLeaf(clk *simclock.Clock, key int64, leafMode buffer.Mode) (buffer.Frame, error) {
+	id, err := t.rootID(clk)
+	if err != nil {
+		return nil, err
+	}
+	var parent buffer.Frame
+	defer func() {
+		if parent != nil {
+			parent.Release()
+		}
+	}()
+	for {
+		// Peek at the level with a read latch first.
+		f, err := t.pool.Get(clk, id, buffer.Read)
+		if err != nil {
+			return nil, err
+		}
+		pg := page.Wrap(f)
+		lvl, err := pg.Level()
+		if err != nil {
+			f.Release()
+			return nil, err
+		}
+		if lvl == 0 {
+			if leafMode == buffer.Write {
+				// Re-latch the leaf in write mode. Writers hold t.wmu, so
+				// no SMO can move the key range in the gap.
+				f.Release()
+				if parent != nil {
+					parent.Release()
+					parent = nil
+				}
+				return t.pool.Get(clk, id, buffer.Write)
+			}
+			if parent != nil {
+				parent.Release()
+				parent = nil
+			}
+			return f, nil
+		}
+		next, err := childFor(pg, key)
+		if err != nil {
+			f.Release()
+			return nil, err
+		}
+		if parent != nil {
+			parent.Release()
+		}
+		parent = f
+		id = next
+	}
+}
+
+// Get returns the value stored under key.
+func (t *Tree) Get(clk *simclock.Clock, key int64) ([]byte, error) {
+	leaf, err := t.descendToLeaf(clk, key, buffer.Read)
+	if err != nil {
+		return nil, err
+	}
+	defer leaf.Release()
+	v, err := page.Wrap(leaf).Find(key)
+	if errors.Is(err, page.ErrNotFound) {
+		return nil, ErrKeyNotFound
+	}
+	return v, err
+}
+
+// Scan returns up to limit records with key >= from, in key order, walking
+// the leaf sibling chain with latch coupling.
+func (t *Tree) Scan(clk *simclock.Clock, from int64, limit int) ([]KV, error) {
+	if limit <= 0 {
+		return nil, nil
+	}
+	leaf, err := t.descendToLeaf(clk, from, buffer.Read)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]KV, 0, min(limit, 1024))
+	for leaf != nil {
+		pg := page.Wrap(leaf)
+		start, err := pg.LowerBound(from)
+		if err != nil {
+			leaf.Release()
+			return nil, err
+		}
+		n, err := pg.NSlots()
+		if err != nil {
+			leaf.Release()
+			return nil, err
+		}
+		for i := start; i < n && len(out) < limit; i++ {
+			k, err := pg.KeyAt(i)
+			if err != nil {
+				leaf.Release()
+				return nil, err
+			}
+			v, err := pg.ValAt(i)
+			if err != nil {
+				leaf.Release()
+				return nil, err
+			}
+			out = append(out, KV{Key: k, Val: v})
+		}
+		if len(out) >= limit {
+			leaf.Release()
+			return out, nil
+		}
+		sib, err := pg.RightSibling()
+		if err != nil {
+			leaf.Release()
+			return nil, err
+		}
+		if sib == 0 {
+			leaf.Release()
+			return out, nil
+		}
+		next, err := t.pool.Get(clk, sib, buffer.Read)
+		leaf.Release()
+		if err != nil {
+			return nil, err
+		}
+		leaf = next
+		from = int64(-1 << 63) // everything in subsequent leaves qualifies
+	}
+	return out, nil
+}

@@ -1,0 +1,82 @@
+// Package buffer defines the buffer-pool abstraction the transaction engine
+// runs on, and implements the two baseline pools:
+//
+//   - DRAMPool: the conventional local buffer pool (the paper's DRAM-BP).
+//   - TieredPool: the RDMA-based disaggregated design used by LegoBase /
+//     PolarDB Serverless — a local buffer pool (LBP) sized as a fraction of
+//     the dataset in front of a remote memory pool, moving whole 16 KB pages
+//     over RDMA on every miss and dirty eviction. This page-granular motion
+//     is the read/write amplification the paper measures (§2.2).
+//
+// PolarCXLMem's pool (no tiering, everything directly on CXL) lives in
+// internal/core and satisfies the same Pool interface, so the identical
+// B+tree and transaction engine run on all three.
+//
+// Latching: frames carry a page latch for functional mutual exclusion among
+// a node's worker goroutines. Latch *wait time* in the performance figures
+// is modelled by the closed-network solver (internal/perf), not by
+// wall-clock blocking, because simulation time is virtual.
+package buffer
+
+import (
+	"polarcxlmem/internal/simclock"
+)
+
+// Mode is a latch mode.
+type Mode int
+
+// Latch modes.
+const (
+	Read Mode = iota
+	Write
+)
+
+// Frame is a latched, pinned buffer page. Its accessor methods (ReadAt /
+// WriteAt, satisfying page.Accessor) charge the owning medium's costs to
+// the clock bound at Get time.
+type Frame interface {
+	// ReadAt / WriteAt implement page.Accessor over this page's bytes.
+	ReadAt(off int, buf []byte) error
+	WriteAt(off int, data []byte) error
+	// ID reports the page id.
+	ID() uint64
+	// Release drops the latch and pin. The frame must not be used after.
+	Release() error
+	// MarkDirty records that the page diverged from its durable image.
+	MarkDirty()
+}
+
+// FlushBarrier runs before a dirty page image is written to storage; the
+// engine installs one that forces the WAL durable up to the page's LSN
+// (write-ahead rule).
+type FlushBarrier func(clk *simclock.Clock, pageLSN uint64)
+
+// Stats counts pool events.
+type Stats struct {
+	Hits          int64
+	Misses        int64
+	Evictions     int64
+	StorageReads  int64
+	StorageWrites int64
+	RemoteReads   int64 // RDMA page fetches (tiered pool)
+	RemoteWrites  int64 // RDMA page pushes (tiered pool)
+}
+
+// Pool is a buffer pool.
+type Pool interface {
+	// Get latches page id in mode and returns its frame; the frame's
+	// accessors charge clk.
+	Get(clk *simclock.Clock, id uint64, mode Mode) (Frame, error)
+	// NewPage allocates a fresh page id and returns its write-latched,
+	// zeroed frame.
+	NewPage(clk *simclock.Clock) (Frame, error)
+	// FlushAll writes every dirty page to storage (checkpoint support).
+	FlushAll(clk *simclock.Clock) error
+	// SetFlushBarrier installs the write-ahead-logging barrier.
+	SetFlushBarrier(fb FlushBarrier)
+	// Stats snapshots the pool counters.
+	Stats() Stats
+	// Resident reports how many pages the pool currently holds locally
+	// (memory-overhead accounting for the cost comparisons).
+	Resident() int
+}

@@ -1,0 +1,258 @@
+package buffer
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+
+	"polarcxlmem/internal/page"
+	"polarcxlmem/internal/simclock"
+	"polarcxlmem/internal/simmem"
+	"polarcxlmem/internal/storage"
+)
+
+// dramFrame is one resident page in a DRAM pool (also reused as the local
+// tier of TieredPool).
+type dramFrame struct {
+	id    uint64
+	img   []byte
+	dirty bool
+	latch sync.RWMutex
+	pins  int
+	elem  *list.Element
+}
+
+// DRAMPool is the conventional local buffer pool: pages cached in host DRAM
+// in front of shared storage.
+type DRAMPool struct {
+	store    *storage.Store
+	prof     simmem.Profile
+	capacity int
+
+	mu      sync.Mutex
+	frames  map[uint64]*dramFrame
+	lru     *list.List // front = MRU
+	barrier FlushBarrier
+	stats   Stats
+}
+
+// NewDRAMPool returns a pool of capacityPages frames over store, charging
+// prof costs per access.
+func NewDRAMPool(store *storage.Store, capacityPages int, prof simmem.Profile) *DRAMPool {
+	if capacityPages <= 0 {
+		panic(fmt.Sprintf("buffer: DRAM pool needs positive capacity, got %d", capacityPages))
+	}
+	return &DRAMPool{
+		store:    store,
+		prof:     prof,
+		capacity: capacityPages,
+		frames:   make(map[uint64]*dramFrame),
+		lru:      list.New(),
+	}
+}
+
+// SetFlushBarrier implements Pool.
+func (p *DRAMPool) SetFlushBarrier(fb FlushBarrier) { p.barrier = fb }
+
+// Stats implements Pool.
+func (p *DRAMPool) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// Resident implements Pool.
+func (p *DRAMPool) Resident() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.frames)
+}
+
+// flushFrame writes f's image to storage (caller holds no pool lock; f must
+// be latched or otherwise stable).
+func (p *DRAMPool) flushFrame(clk *simclock.Clock, f *dramFrame) error {
+	if p.barrier != nil {
+		p.barrier(clk, page.RawLSN(f.img))
+	}
+	if err := p.store.WritePage(clk, f.id, f.img); err != nil {
+		return err
+	}
+	f.dirty = false
+	p.mu.Lock()
+	p.stats.StorageWrites++
+	p.mu.Unlock()
+	return nil
+}
+
+// evictOne removes one unpinned LRU victim, writing it back if dirty.
+// Called with p.mu held; releases and reacquires it around I/O.
+func (p *DRAMPool) evictOne(clk *simclock.Clock) error {
+	for e := p.lru.Back(); e != nil; e = e.Prev() {
+		f := e.Value.(*dramFrame)
+		if f.pins > 0 {
+			continue
+		}
+		p.lru.Remove(e)
+		delete(p.frames, f.id)
+		p.stats.Evictions++
+		if f.dirty {
+			p.mu.Unlock()
+			err := p.flushFrame(clk, f)
+			p.mu.Lock()
+			return err
+		}
+		return nil
+	}
+	return fmt.Errorf("buffer: all %d frames pinned, cannot evict", len(p.frames))
+}
+
+// Get implements Pool.
+func (p *DRAMPool) Get(clk *simclock.Clock, id uint64, mode Mode) (Frame, error) {
+	p.mu.Lock()
+	f, ok := p.frames[id]
+	if ok {
+		f.pins++
+		p.lru.MoveToFront(f.elem)
+		p.stats.Hits++
+		p.mu.Unlock()
+	} else {
+		p.stats.Misses++
+		for len(p.frames) >= p.capacity {
+			if err := p.evictOne(clk); err != nil {
+				p.mu.Unlock()
+				return nil, err
+			}
+		}
+		f = &dramFrame{id: id, img: make([]byte, page.Size), pins: 1}
+		f.elem = p.lru.PushFront(f)
+		p.frames[id] = f
+		p.stats.StorageReads++
+		p.mu.Unlock()
+		if err := p.store.ReadPage(clk, id, f.img); err != nil {
+			p.mu.Lock()
+			p.lru.Remove(f.elem)
+			delete(p.frames, id)
+			p.mu.Unlock()
+			return nil, err
+		}
+	}
+	lockFrame(&f.latch, mode)
+	return &boundFrame{f: f, pool: p, clk: clk, mode: mode}, nil
+}
+
+// NewPage implements Pool.
+func (p *DRAMPool) NewPage(clk *simclock.Clock) (Frame, error) {
+	id := p.store.AllocPageID()
+	p.mu.Lock()
+	for len(p.frames) >= p.capacity {
+		if err := p.evictOne(clk); err != nil {
+			p.mu.Unlock()
+			return nil, err
+		}
+	}
+	f := &dramFrame{id: id, img: make([]byte, page.Size), pins: 1, dirty: true}
+	f.elem = p.lru.PushFront(f)
+	p.frames[id] = f
+	p.mu.Unlock()
+	lockFrame(&f.latch, Write)
+	return &boundFrame{f: f, pool: p, clk: clk, mode: Write}, nil
+}
+
+// FlushAll implements Pool.
+func (p *DRAMPool) FlushAll(clk *simclock.Clock) error {
+	p.mu.Lock()
+	var dirty []*dramFrame
+	for _, f := range p.frames {
+		if f.dirty {
+			dirty = append(dirty, f)
+		}
+	}
+	p.mu.Unlock()
+	for _, f := range dirty {
+		f.latch.RLock()
+		err := p.flushFrame(clk, f)
+		f.latch.RUnlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func lockFrame(l *sync.RWMutex, mode Mode) {
+	if mode == Write {
+		l.Lock()
+	} else {
+		l.RLock()
+	}
+}
+
+func unlockFrame(l *sync.RWMutex, mode Mode) {
+	if mode == Write {
+		l.Unlock()
+	} else {
+		l.RUnlock()
+	}
+}
+
+// boundFrame binds a dramFrame to a worker clock and latch mode.
+type boundFrame struct {
+	f        *dramFrame
+	pool     *DRAMPool // may be nil when embedded by TieredPool
+	tiered   *TieredPool
+	clk      *simclock.Clock
+	mode     Mode
+	released bool
+}
+
+// ID implements Frame.
+func (b *boundFrame) ID() uint64 { return b.f.id }
+
+// MarkDirty implements Frame.
+func (b *boundFrame) MarkDirty() { b.f.dirty = true }
+
+func (b *boundFrame) prof() simmem.Profile {
+	if b.pool != nil {
+		return b.pool.prof
+	}
+	return b.tiered.prof
+}
+
+// ReadAt implements page.Accessor with local-DRAM costs.
+func (b *boundFrame) ReadAt(off int, buf []byte) error {
+	if off < 0 || off+len(buf) > len(b.f.img) {
+		return fmt.Errorf("buffer: read [%d,%d) out of page bounds", off, off+len(buf))
+	}
+	copy(buf, b.f.img[off:])
+	b.clk.Advance(b.prof().ReadCost(len(buf)))
+	return nil
+}
+
+// WriteAt implements page.Accessor with local-DRAM costs.
+func (b *boundFrame) WriteAt(off int, data []byte) error {
+	if off < 0 || off+len(data) > len(b.f.img) {
+		return fmt.Errorf("buffer: write [%d,%d) out of page bounds", off, off+len(data))
+	}
+	copy(b.f.img[off:], data)
+	b.clk.Advance(b.prof().WriteCost(len(data)))
+	return nil
+}
+
+// Release implements Frame.
+func (b *boundFrame) Release() error {
+	if b.released {
+		return fmt.Errorf("buffer: double release of page %d", b.f.id)
+	}
+	b.released = true
+	unlockFrame(&b.f.latch, b.mode)
+	var mu *sync.Mutex
+	if b.pool != nil {
+		mu = &b.pool.mu
+	} else {
+		mu = &b.tiered.mu
+	}
+	mu.Lock()
+	b.f.pins--
+	mu.Unlock()
+	return nil
+}

@@ -1,0 +1,107 @@
+package buffer
+
+import (
+	"fmt"
+	"sync"
+
+	"polarcxlmem/internal/page"
+	"polarcxlmem/internal/rdma"
+	"polarcxlmem/internal/simclock"
+)
+
+// RemoteMemory is the RDMA-exposed disaggregated memory pool behind a
+// TieredPool: a slot-per-page region on a memory node, addressed by page id.
+// Its contents survive database-host crashes (the memory node did not fail),
+// but because pages are updated in the local tier first, the remote copy of
+// a hot page is generally stale at crash time — the exact limitation that
+// makes RDMA-based instant recovery impossible (§3.2).
+type RemoteMemory struct {
+	pool *rdma.Pool
+
+	mu       sync.Mutex
+	slots    map[uint64]int64 // page id -> byte offset
+	free     []int64
+	nextSlot int64
+	capacity int64
+}
+
+// NewRemoteMemory allocates a remote pool of capacityPages page slots.
+func NewRemoteMemory(name string, capacityPages int) *RemoteMemory {
+	if capacityPages <= 0 {
+		panic(fmt.Sprintf("buffer: remote memory needs positive capacity, got %d", capacityPages))
+	}
+	cap := int64(capacityPages) * page.Size
+	return &RemoteMemory{
+		pool:     rdma.NewPool(name, cap),
+		slots:    make(map[uint64]int64),
+		capacity: cap,
+	}
+}
+
+// Has reports whether id has a remote copy.
+func (r *RemoteMemory) Has(id uint64) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, ok := r.slots[id]
+	return ok
+}
+
+// PageCount reports resident remote pages.
+func (r *RemoteMemory) PageCount() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.slots)
+}
+
+// slotFor returns id's slot, allocating one if needed.
+func (r *RemoteMemory) slotFor(id uint64) (int64, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if off, ok := r.slots[id]; ok {
+		return off, nil
+	}
+	var off int64
+	if n := len(r.free); n > 0 {
+		off = r.free[n-1]
+		r.free = r.free[:n-1]
+	} else {
+		if r.nextSlot+page.Size > r.capacity {
+			return 0, fmt.Errorf("buffer: remote memory full (%d pages)", r.capacity/page.Size)
+		}
+		off = r.nextSlot
+		r.nextSlot += page.Size
+	}
+	r.slots[id] = off
+	return off, nil
+}
+
+// Read RDMA-reads the full remote page image of id into buf through nic.
+func (r *RemoteMemory) Read(clk *simclock.Clock, nic *rdma.NIC, id uint64, buf []byte) error {
+	r.mu.Lock()
+	off, ok := r.slots[id]
+	r.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("buffer: page %d not in remote memory", id)
+	}
+	return r.pool.Read(clk, nic, off, buf)
+}
+
+// Write RDMA-writes the full page image of id through nic, allocating a
+// slot on first touch.
+func (r *RemoteMemory) Write(clk *simclock.Clock, nic *rdma.NIC, id uint64, img []byte) error {
+	off, err := r.slotFor(id)
+	if err != nil {
+		return err
+	}
+	return r.pool.Write(clk, nic, off, img)
+}
+
+// Drop frees id's slot (page discarded from the remote tier).
+func (r *RemoteMemory) Drop(id uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if off, ok := r.slots[id]; ok {
+		delete(r.slots, id)
+		r.free = append(r.free, off)
+	}
+}

@@ -1,0 +1,85 @@
+// Package core implements PolarCXLMem: the paper's CXL-switch-based
+// disaggregated buffer pool (§3.1) and the durable block layout that makes
+// PolarRecv instant recovery possible (§3.2).
+//
+// The entire buffer pool — page data AND metadata — lives in the node's CXL
+// region. Local DRAM holds only rebuildable acceleration state (the page-id
+// hash index, Go-level latches, pin counts), all of which PolarRecv
+// reconstructs by scanning the CXL-resident metadata after a crash.
+//
+// # Region layout
+//
+//	header (128 B):
+//	  0  magic        8  nblocks     16 freeHead    24 inuseHead
+//	  32 inuseTail    40 lruLock     48 inuseCount
+//	block i at 128 + i*(64+16384):
+//	  meta (64 B, one cache line — the paper's Figure 4 block):
+//	    0 pageID   8 lockState   16 prev   24 next   32 lsn   40 flags
+//	  data (16384 B): the page image, operated on in place via load/store
+//	    through the CPU cache.
+//
+// List pointers are 1-based block indices; 0 is nil. Metadata words are
+// written with uncached (write-through) stores so they are crash-visible at
+// the protocol points PolarRecv relies on: the write-lock word is set
+// before the first modification and cleared only after the page's dirty
+// cache lines have been flushed to CXL and the meta LSN updated; the
+// lruLock word brackets every list splice.
+package core
+
+import "polarcxlmem/internal/page"
+
+const (
+	// Magic identifies a formatted PolarCXLMem region.
+	Magic = 0x504F4C41_43584C31 // "POLACXL1"
+
+	headerSize = 128
+	metaSize   = 64
+	// BlockSize is one block: metadata line + page image.
+	BlockSize = metaSize + page.Size
+)
+
+// Header word offsets.
+const (
+	hMagic      = 0
+	hNBlocks    = 8
+	hFreeHead   = 16
+	hInuseHead  = 24
+	hInuseTail  = 32
+	hLRULock    = 40
+	hInuseCount = 48
+)
+
+// Meta word offsets, relative to block start.
+const (
+	mPageID = 0
+	mLock   = 8
+	mPrev   = 16
+	mNext   = 24
+	mLSN    = 32
+	mFlags  = 40
+)
+
+// Flags bits.
+const (
+	flagInUse uint64 = 1 << 0
+	flagDirty uint64 = 1 << 1 // diverged from the durable storage image
+)
+
+// Lock-word states. Only write locks are persisted: read locks cannot leave
+// a page half-updated, so recovery does not need them (§3.2).
+const (
+	lockFree    uint64 = 0
+	lockWritten uint64 = 1
+)
+
+// blockOff reports the region offset of 1-based block index idx.
+func blockOff(idx int64) int64 { return headerSize + (idx-1)*BlockSize }
+
+// dataOff reports the region offset of block idx's page image.
+func dataOff(idx int64) int64 { return blockOff(idx) + metaSize }
+
+// BlocksFor reports how many blocks fit in a region of size bytes.
+func BlocksFor(size int64) int64 { return (size - headerSize) / BlockSize }
+
+// RegionSizeFor reports the region bytes needed for n blocks.
+func RegionSizeFor(n int64) int64 { return headerSize + n*BlockSize }

@@ -1,0 +1,510 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"polarcxlmem/internal/buffer"
+	"polarcxlmem/internal/cxl"
+	"polarcxlmem/internal/page"
+	"polarcxlmem/internal/simclock"
+	"polarcxlmem/internal/simcpu"
+	"polarcxlmem/internal/simmem"
+	"polarcxlmem/internal/storage"
+)
+
+// lruMoveWindowMult: a block touched within the last nblocks*mult Gets is
+// "young enough" and is not re-spliced to MRU. Real buffer pools (InnoDB's
+// old-sublist access window) use the same trick; here it also keeps the
+// uncached CXL pointer-store cost off the hot path — under uniform access
+// a block's expected re-touch gap is nblocks Gets, so a 4x window makes
+// splices rare while still refreshing genuinely cold blocks before the
+// eviction clock reaches them.
+const lruMoveWindowMult = 4
+
+// blockState is the in-DRAM, crash-rebuildable side of one block.
+type blockState struct {
+	latch     sync.RWMutex
+	pins      int
+	lastTouch int64
+	dirty     bool // mirror of the CXL dirty flag, avoids repeated stores
+}
+
+// CXLPool is PolarCXLMem's buffer pool: every page and its metadata live
+// directly in the node's CXL region; there is no local tier.
+type CXLPool struct {
+	host   *cxl.HostPort
+	region *simmem.Region
+	cache  *simcpu.Cache
+	store  *storage.Store
+
+	nblocks int64
+
+	mu      sync.Mutex
+	index   map[uint64]int64 // page id -> 1-based block index
+	blocks  []blockState     // [nblocks]
+	epoch   int64
+	barrier buffer.FlushBarrier
+	stats   buffer.Stats
+
+	// hook, when set, is called at named protocol steps; returning an error
+	// aborts the operation mid-way, leaving exactly the partial CXL state a
+	// crash at that point would leave. Tests use it to exercise PolarRecv.
+	hook func(step string) error
+}
+
+var _ buffer.Pool = (*CXLPool)(nil)
+
+// Format initializes a fresh PolarCXLMem pool over region: writes the
+// header and chains every block into the free list. The region must be at
+// least RegionSizeFor(1) bytes.
+func Format(host *cxl.HostPort, region *simmem.Region, cache *simcpu.Cache, store *storage.Store) (*CXLPool, error) {
+	n := BlocksFor(region.Size())
+	if n < 1 {
+		return nil, fmt.Errorf("core: region of %d bytes holds no blocks (need >= %d)", region.Size(), RegionSizeFor(1))
+	}
+	p := &CXLPool{host: host, region: region, cache: cache, store: store, nblocks: n,
+		index: make(map[uint64]int64), blocks: make([]blockState, n)}
+	// Formatting is a one-time startup action; charge nothing (raw writes).
+	w := func(off int64, v uint64) error { return region.Store64Raw(off, v) }
+	if err := w(hMagic, Magic); err != nil {
+		return nil, err
+	}
+	if err := w(hNBlocks, uint64(n)); err != nil {
+		return nil, err
+	}
+	for i := int64(1); i <= n; i++ {
+		off := blockOff(i)
+		next := uint64(i + 1)
+		if i == n {
+			next = 0
+		}
+		for _, kv := range [][2]uint64{{mPageID, 0}, {mLock, lockFree}, {mPrev, 0}, {mNext, next}, {mLSN, 0}, {mFlags, 0}} {
+			if err := w(off+int64(kv[0]), kv[1]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := w(hFreeHead, 1); err != nil {
+		return nil, err
+	}
+	for _, o := range []int64{hInuseHead, hInuseTail, hLRULock, hInuseCount} {
+		if err := w(o, 0); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// SetHook installs the crash-point hook (tests only).
+func (p *CXLPool) SetHook(h func(step string) error) { p.hook = h }
+
+func (p *CXLPool) step(name string) error {
+	if p.hook != nil {
+		return p.hook(name)
+	}
+	return nil
+}
+
+// NBlocks reports the pool's block count.
+func (p *CXLPool) NBlocks() int64 { return p.nblocks }
+
+// Region exposes the pool's CXL region (recovery, diagnostics).
+func (p *CXLPool) Region() *simmem.Region { return p.region }
+
+// Cache exposes the node's CPU cache.
+func (p *CXLPool) Cache() *simcpu.Cache { return p.cache }
+
+// SetFlushBarrier implements buffer.Pool.
+func (p *CXLPool) SetFlushBarrier(fb buffer.FlushBarrier) { p.barrier = fb }
+
+// Stats implements buffer.Pool.
+func (p *CXLPool) Stats() buffer.Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// Resident implements buffer.Pool: pages resident in CXL. Local DRAM holds
+// no pages at all — the cost advantage the paper quantifies.
+func (p *CXLPool) Resident() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.index)
+}
+
+// --- costed metadata access -------------------------------------------------
+
+func (p *CXLPool) metaLoad(clk *simclock.Clock, idx, field int64) uint64 {
+	v, err := p.region.Load64(clk, blockOff(idx)+field)
+	if err != nil {
+		panic(fmt.Sprintf("core: meta load block %d field %d: %v", idx, field, err))
+	}
+	return v
+}
+
+func (p *CXLPool) metaStore(clk *simclock.Clock, idx, field int64, v uint64) {
+	if err := p.region.Store64(clk, blockOff(idx)+field, v); err != nil {
+		panic(fmt.Sprintf("core: meta store block %d field %d: %v", idx, field, err))
+	}
+}
+
+func (p *CXLPool) headLoad(clk *simclock.Clock, off int64) uint64 {
+	v, err := p.region.Load64(clk, off)
+	if err != nil {
+		panic(fmt.Sprintf("core: header load %d: %v", off, err))
+	}
+	return v
+}
+
+func (p *CXLPool) headStore(clk *simclock.Clock, off int64, v uint64) {
+	if err := p.region.Store64(clk, off, v); err != nil {
+		panic(fmt.Sprintf("core: header store %d: %v", off, err))
+	}
+}
+
+// --- CXL-resident list operations -------------------------------------------
+// Callers hold p.mu. Every splice is bracketed by the lruLock word so a
+// crash mid-splice is detectable (§3.2 challenge 1).
+
+func (p *CXLPool) lruLockSet(clk *simclock.Clock) error {
+	p.headStore(clk, hLRULock, 1)
+	return p.step("lru-locked")
+}
+
+func (p *CXLPool) lruLockClear(clk *simclock.Clock) {
+	p.headStore(clk, hLRULock, 0)
+}
+
+// listRemove unlinks idx from the in-use list.
+func (p *CXLPool) listRemove(clk *simclock.Clock, idx int64) error {
+	prev := int64(p.metaLoad(clk, idx, mPrev))
+	next := int64(p.metaLoad(clk, idx, mNext))
+	if prev != 0 {
+		p.metaStore(clk, prev, mNext, uint64(next))
+	} else {
+		p.headStore(clk, hInuseHead, uint64(next))
+	}
+	if err := p.step("lru-mid-splice"); err != nil {
+		return err
+	}
+	if next != 0 {
+		p.metaStore(clk, next, mPrev, uint64(prev))
+	} else {
+		p.headStore(clk, hInuseTail, uint64(prev))
+	}
+	p.headStore(clk, hInuseCount, p.headLoad(clk, hInuseCount)-1)
+	return nil
+}
+
+// listPushFront links idx at the in-use MRU position.
+func (p *CXLPool) listPushFront(clk *simclock.Clock, idx int64) error {
+	head := int64(p.headLoad(clk, hInuseHead))
+	p.metaStore(clk, idx, mPrev, 0)
+	p.metaStore(clk, idx, mNext, uint64(head))
+	if err := p.step("lru-mid-push"); err != nil {
+		return err
+	}
+	if head != 0 {
+		p.metaStore(clk, head, mPrev, uint64(idx))
+	} else {
+		p.headStore(clk, hInuseTail, uint64(idx))
+	}
+	p.headStore(clk, hInuseHead, uint64(idx))
+	p.headStore(clk, hInuseCount, p.headLoad(clk, hInuseCount)+1)
+	return nil
+}
+
+// popFree takes a block off the free list, or 0 if empty.
+func (p *CXLPool) popFree(clk *simclock.Clock) int64 {
+	head := int64(p.headLoad(clk, hFreeHead))
+	if head == 0 {
+		return 0
+	}
+	next := p.metaLoad(clk, head, mNext)
+	p.headStore(clk, hFreeHead, next)
+	p.metaStore(clk, head, mNext, 0)
+	return head
+}
+
+// pushFree returns a block to the free list.
+func (p *CXLPool) pushFree(clk *simclock.Clock, idx int64) {
+	head := p.headLoad(clk, hFreeHead)
+	p.metaStore(clk, idx, mNext, head)
+	p.metaStore(clk, idx, mPrev, 0)
+	p.headStore(clk, hFreeHead, uint64(idx))
+}
+
+// dataRegion returns block idx's page-image subregion.
+func (p *CXLPool) dataRegion(idx int64) *simmem.Region {
+	r, err := p.region.SubRegion(dataOff(idx), page.Size)
+	if err != nil {
+		panic(fmt.Sprintf("core: block %d data region: %v", idx, err))
+	}
+	return r
+}
+
+// rawImage copies block idx's page image without cost (recovery, eviction
+// after a cache flush).
+func (p *CXLPool) rawImage(idx int64, buf []byte) error {
+	return p.region.ReadRaw(dataOff(idx), buf)
+}
+
+// evictOne frees one unpinned LRU-tail block, flushing it to storage if
+// dirty. Called with p.mu held; performs its I/O inline (the pool mutex is
+// a functional lock, not a timing model).
+func (p *CXLPool) evictOne(clk *simclock.Clock) (int64, error) {
+	idx := int64(p.headLoad(clk, hInuseTail))
+	for idx != 0 && p.blocks[idx-1].pins > 0 {
+		idx = int64(p.metaLoad(clk, idx, mPrev))
+	}
+	if idx == 0 {
+		return 0, fmt.Errorf("core: all in-use blocks pinned, cannot evict")
+	}
+	st := &p.blocks[idx-1]
+	id := p.metaLoad(clk, idx, mPageID)
+	if st.dirty {
+		// The block's lines may be resident (clean) in this node's cache;
+		// unlocked pages were flushed at release, so CXL holds the latest.
+		img := make([]byte, page.Size)
+		if err := p.rawImage(idx, img); err != nil {
+			return 0, err
+		}
+		// Charge the bulk CXL->DRAM staging read that precedes the storage
+		// write, then the storage write itself.
+		p.host.TransferRead(clk, page.Size)
+		if p.barrier != nil {
+			p.barrier(clk, page.RawLSN(img))
+		}
+		if err := p.store.WritePage(clk, id, img); err != nil {
+			return 0, err
+		}
+		p.stats.StorageWrites++
+		st.dirty = false
+	}
+	if err := p.lruLockSet(clk); err != nil {
+		return 0, err
+	}
+	if err := p.listRemove(clk, idx); err != nil {
+		return 0, err
+	}
+	p.lruLockClear(clk)
+	p.metaStore(clk, idx, mPageID, 0)
+	p.metaStore(clk, idx, mFlags, 0)
+	p.metaStore(clk, idx, mLSN, 0)
+	// Drop any cached lines of the dead block so a future tenant of the
+	// block never sees them.
+	if err := p.cache.Flush(clk, p.dataRegion(idx), 0, page.Size); err != nil {
+		return 0, err
+	}
+	delete(p.index, id)
+	p.stats.Evictions++
+	return idx, nil
+}
+
+// allocBlock returns a free block, evicting if necessary. p.mu held.
+func (p *CXLPool) allocBlock(clk *simclock.Clock) (int64, error) {
+	if idx := p.popFree(clk); idx != 0 {
+		return idx, nil
+	}
+	return p.evictOne(clk)
+}
+
+// maybeTouch moves block idx to MRU unless it was touched recently. p.mu
+// held.
+func (p *CXLPool) maybeTouch(clk *simclock.Clock, idx int64) error {
+	p.epoch++
+	st := &p.blocks[idx-1]
+	window := p.nblocks * lruMoveWindowMult
+	if window < 1 {
+		window = 1
+	}
+	if p.epoch-st.lastTouch <= window && st.lastTouch != 0 {
+		return nil // still young: skip the CXL pointer stores
+	}
+	st.lastTouch = p.epoch
+	if int64(p.headLoad(clk, hInuseHead)) == idx {
+		return nil
+	}
+	if err := p.lruLockSet(clk); err != nil {
+		return err
+	}
+	if err := p.listRemove(clk, idx); err != nil {
+		return err
+	}
+	if err := p.listPushFront(clk, idx); err != nil {
+		return err
+	}
+	p.lruLockClear(clk)
+	return nil
+}
+
+// Get implements buffer.Pool.
+func (p *CXLPool) Get(clk *simclock.Clock, id uint64, mode buffer.Mode) (buffer.Frame, error) {
+	p.mu.Lock()
+	idx, ok := p.index[id]
+	if ok {
+		p.stats.Hits++
+		p.blocks[idx-1].pins++
+		if err := p.maybeTouch(clk, idx); err != nil {
+			p.blocks[idx-1].pins--
+			p.mu.Unlock()
+			return nil, err
+		}
+		p.mu.Unlock()
+	} else {
+		p.stats.Misses++
+		var err error
+		idx, err = p.allocBlock(clk)
+		if err != nil {
+			p.mu.Unlock()
+			return nil, err
+		}
+		// Stage the page from storage and copy it into CXL in bulk.
+		img := make([]byte, page.Size)
+		if err := p.store.ReadPage(clk, id, img); err != nil {
+			p.pushFree(clk, idx)
+			p.mu.Unlock()
+			return nil, err
+		}
+		p.stats.StorageReads++
+		if err := p.region.WriteRaw(dataOff(idx), img); err != nil {
+			p.pushFree(clk, idx)
+			p.mu.Unlock()
+			return nil, err
+		}
+		p.host.TransferWrite(clk, page.Size)
+		p.metaStore(clk, idx, mPageID, id)
+		p.metaStore(clk, idx, mLSN, page.RawLSN(img))
+		p.metaStore(clk, idx, mFlags, flagInUse)
+		st := &p.blocks[idx-1]
+		st.dirty = false
+		st.pins = 1
+		st.lastTouch = p.epoch
+		if err := p.lruLockSet(clk); err != nil {
+			p.mu.Unlock()
+			return nil, err
+		}
+		if err := p.listPushFront(clk, idx); err != nil {
+			p.mu.Unlock()
+			return nil, err
+		}
+		p.lruLockClear(clk)
+		p.index[id] = idx
+		p.mu.Unlock()
+	}
+	return p.latchAndWrap(clk, id, idx, mode)
+}
+
+// latchAndWrap acquires the block latch (outside p.mu) and builds the frame.
+func (p *CXLPool) latchAndWrap(clk *simclock.Clock, id uint64, idx int64, mode buffer.Mode) (buffer.Frame, error) {
+	st := &p.blocks[idx-1]
+	if mode == buffer.Write {
+		st.latch.Lock()
+		// Persist the write-lock word BEFORE any modification: if we crash
+		// mid-update, PolarRecv sees the lock and rebuilds from redo (§3.2).
+		p.metaStore(clk, idx, mLock, lockWritten)
+		if err := p.step("write-locked"); err != nil {
+			return nil, err
+		}
+	} else {
+		st.latch.RLock()
+	}
+	return &cxlFrame{pool: p, clk: clk, id: id, idx: idx, mode: mode}, nil
+}
+
+// NewPage implements buffer.Pool.
+func (p *CXLPool) NewPage(clk *simclock.Clock) (buffer.Frame, error) {
+	id := p.store.AllocPageID()
+	p.mu.Lock()
+	idx, err := p.allocBlock(clk)
+	if err != nil {
+		p.mu.Unlock()
+		return nil, err
+	}
+	// Zero the image region (fresh page).
+	if err := p.region.WriteRaw(dataOff(idx), make([]byte, page.Size)); err != nil {
+		p.pushFree(clk, idx)
+		p.mu.Unlock()
+		return nil, err
+	}
+	p.metaStore(clk, idx, mPageID, id)
+	p.metaStore(clk, idx, mLSN, 0)
+	p.metaStore(clk, idx, mFlags, flagInUse|flagDirty)
+	st := &p.blocks[idx-1]
+	st.dirty = true
+	st.pins = 1
+	st.lastTouch = p.epoch
+	if err := p.lruLockSet(clk); err != nil {
+		p.mu.Unlock()
+		return nil, err
+	}
+	if err := p.listPushFront(clk, idx); err != nil {
+		p.mu.Unlock()
+		return nil, err
+	}
+	p.lruLockClear(clk)
+	p.index[id] = idx
+	p.mu.Unlock()
+	return p.latchAndWrap(clk, id, idx, buffer.Write)
+}
+
+// FlushAll implements buffer.Pool: every dirty page goes to storage
+// (checkpoint support). Pages stay resident — CXL is the buffer pool.
+func (p *CXLPool) FlushAll(clk *simclock.Clock) error {
+	p.mu.Lock()
+	type victim struct {
+		idx int64
+		id  uint64
+	}
+	var dirty []victim
+	for id, idx := range p.index {
+		if p.blocks[idx-1].dirty {
+			dirty = append(dirty, victim{idx, id})
+		}
+	}
+	p.mu.Unlock()
+	for _, v := range dirty {
+		st := &p.blocks[v.idx-1]
+		st.latch.RLock()
+		// Make CXL current for this page (write back this node's dirty
+		// lines), then stage and write to storage.
+		err := p.cache.Flush(clk, p.dataRegion(v.idx), 0, page.Size)
+		var img []byte
+		if err == nil {
+			img = make([]byte, page.Size)
+			err = p.rawImage(v.idx, img)
+		}
+		if err == nil {
+			p.host.TransferRead(clk, page.Size)
+			if p.barrier != nil {
+				p.barrier(clk, page.RawLSN(img))
+			}
+			err = p.store.WritePage(clk, v.id, img)
+		}
+		if err == nil {
+			st.dirty = false
+			p.metaStore(clk, v.idx, mFlags, flagInUse)
+			p.mu.Lock()
+			p.stats.StorageWrites++
+			p.mu.Unlock()
+		}
+		st.latch.RUnlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Crash simulates a host failure: the CPU cache is lost (dirty unflushed
+// lines and all), every in-DRAM structure is dropped. The CXL region — the
+// pool itself — is untouched. Recovery reopens it with Open (internal) via
+// recovery.PolarRecv.
+func (p *CXLPool) Crash() {
+	p.cache.Drop()
+	p.mu.Lock()
+	p.index = nil
+	p.blocks = nil
+	p.mu.Unlock()
+}

@@ -1,0 +1,145 @@
+package cxl
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"polarcxlmem/internal/simclock"
+	"polarcxlmem/internal/simmem"
+	"polarcxlmem/internal/simnet"
+)
+
+const mgrEndpoint = "cxl-mgr"
+
+// lease records one client's allocation.
+type lease struct {
+	off, size int64
+}
+
+type allocReq struct {
+	Client string
+	Size   int64
+}
+
+// Manager is the CXL memory manager from §3.1: it parcels the pooled device
+// into non-overlapping per-client allocations so that no two nodes ever
+// address the same CXL memory (multi-tenancy), and it remembers leases
+// across client crashes so a restarting instance can reattach to its buffer
+// pool. It runs on the switch-box controller, so its state survives host
+// failures.
+type Manager struct {
+	dev *simmem.Device
+
+	mu     sync.Mutex
+	leases map[string]lease
+}
+
+func newManager(dev *simmem.Device) *Manager {
+	return &Manager{dev: dev, leases: make(map[string]lease)}
+}
+
+// register installs the manager's RPC handlers.
+func (m *Manager) register(f *simnet.Fabric) {
+	f.Register(mgrEndpoint, "alloc", func(clk *simclock.Clock, req any) (any, error) {
+		r := req.(allocReq)
+		off, err := m.Allocate(r.Client, r.Size)
+		return off, err
+	})
+	f.Register(mgrEndpoint, "reattach", func(clk *simclock.Clock, req any) (any, error) {
+		return m.Lease(req.(string))
+	})
+	f.Register(mgrEndpoint, "free", func(clk *simclock.Clock, req any) (any, error) {
+		return nil, m.Release(req.(string))
+	})
+}
+
+// Allocate reserves size bytes for client and returns the device offset.
+// Allocation is first-fit over the gaps between existing leases; a client
+// may hold at most one lease (the paper allocates the whole buffer pool in
+// one request at startup).
+func (m *Manager) Allocate(client string, size int64) (int64, error) {
+	if size <= 0 {
+		return 0, fmt.Errorf("cxl: allocation for %q must be positive, got %d", client, size)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if l, ok := m.leases[client]; ok {
+		return 0, fmt.Errorf("cxl: client %q already holds [%d,%d); reattach instead", client, l.off, l.off+l.size)
+	}
+	// Collect leases sorted by offset and scan the gaps.
+	all := make([]lease, 0, len(m.leases))
+	for _, l := range m.leases {
+		all = append(all, l)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].off < all[j].off })
+	cursor := int64(0)
+	for _, l := range all {
+		if l.off-cursor >= size {
+			break
+		}
+		cursor = l.off + l.size
+	}
+	if cursor+size > m.dev.Size() {
+		return 0, fmt.Errorf("cxl: pool exhausted: need %d bytes, largest tail gap %d", size, m.dev.Size()-cursor)
+	}
+	m.leases[client] = lease{off: cursor, size: size}
+	return cursor, nil
+}
+
+// Lease reports the existing lease for client (the reattach path).
+func (m *Manager) Lease(client string) (lease, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	l, ok := m.leases[client]
+	if !ok {
+		return lease{}, fmt.Errorf("cxl: no lease for client %q", client)
+	}
+	return l, nil
+}
+
+// Release frees client's lease. Releasing an unknown client is an error so
+// that double-frees surface in tests.
+func (m *Manager) Release(client string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.leases[client]; !ok {
+		return fmt.Errorf("cxl: release of unknown client %q", client)
+	}
+	delete(m.leases, client)
+	return nil
+}
+
+// Allocated reports the total bytes currently leased.
+func (m *Manager) Allocated() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var n int64
+	for _, l := range m.leases {
+		n += l.size
+	}
+	return n
+}
+
+// Clients reports the lease holders, sorted.
+func (m *Manager) Clients() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.leases))
+	for c := range m.leases {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Region materializes a bounds-checked region for client's lease without the
+// RPC path (used by switch-side services such as the buffer-fusion server,
+// which runs adjacent to the manager).
+func (m *Manager) Region(client string) (*simmem.Region, error) {
+	l, err := m.Lease(client)
+	if err != nil {
+		return nil, err
+	}
+	return m.dev.Region(l.off, l.size)
+}

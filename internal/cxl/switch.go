@@ -1,0 +1,187 @@
+package cxl
+
+import (
+	"fmt"
+	"sync"
+
+	"polarcxlmem/internal/simclock"
+	"polarcxlmem/internal/simcpu"
+	"polarcxlmem/internal/simmem"
+	"polarcxlmem/internal/simnet"
+)
+
+// Config parameterizes a switch deployment.
+type Config struct {
+	PoolBytes      int64   // memory-box capacity; 0 = DefaultPoolBytes
+	FabricBW       float64 // switch fabric bytes/s; 0 = FabricBandwidth
+	HostLinkBW     float64 // per-host link bytes/s; 0 = HostLinkBandwidth
+	RPCNanos       int64   // manager RPC round trip; 0 = ManagerRPCNanos
+	Profile        simmem.Profile
+	profileSet     bool // distinguish zero Profile from explicit one
+	DisableProfile bool // internal/testing only
+}
+
+func (c Config) withDefaults() Config {
+	if c.PoolBytes == 0 {
+		c.PoolBytes = DefaultPoolBytes
+	}
+	if c.FabricBW == 0 {
+		c.FabricBW = FabricBandwidth
+	}
+	if c.HostLinkBW == 0 {
+		c.HostLinkBW = HostLinkBandwidth
+	}
+	if c.RPCNanos == 0 {
+		c.RPCNanos = ManagerRPCNanos
+	}
+	if c.Profile.Name == "" {
+		c.Profile = SwitchProfile()
+	}
+	return c
+}
+
+// Switch is one CXL 2.0 switch plus its memory box. The memory device and
+// the manager's allocation state live here, powered independently of any
+// host: a host crash never disturbs them (§3.2).
+type Switch struct {
+	cfg    Config
+	dev    *simmem.Device
+	fabric *simclock.Resource
+	rpc    *simnet.Fabric
+	mgr    *Manager
+
+	mu    sync.Mutex
+	hosts map[string]*HostPort
+}
+
+// NewSwitch builds a switch with cfg (zero fields get calibrated defaults).
+func NewSwitch(cfg Config) *Switch {
+	cfg = cfg.withDefaults()
+	fabric := simclock.NewResource("cxl-fabric", cfg.FabricBW)
+	dev := simmem.NewDevice("cxl-pool", cfg.PoolBytes, cfg.Profile, fabric)
+	s := &Switch{
+		cfg:    cfg,
+		dev:    dev,
+		fabric: fabric,
+		rpc:    simnet.New(cfg.RPCNanos, nil),
+		hosts:  make(map[string]*HostPort),
+	}
+	s.mgr = newManager(s.dev)
+	s.mgr.register(s.rpc)
+	return s
+}
+
+// Device exposes the pooled memory device (diagnostics, recovery scans).
+func (s *Switch) Device() *simmem.Device { return s.dev }
+
+// FabricStats reports traffic through the switch fabric.
+func (s *Switch) FabricStats() simclock.ResourceStats { return s.fabric.Stats() }
+
+// ResetStats clears fabric and link accounting between experiment phases.
+func (s *Switch) ResetStats() {
+	s.fabric.Reset()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, h := range s.hosts {
+		h.link.Reset()
+	}
+}
+
+// Manager exposes the memory manager (direct, non-RPC access for tools).
+func (s *Switch) Manager() *Manager { return s.mgr }
+
+// AttachHost connects a host to the switch, creating its x16 link. Attaching
+// an already-attached name returns the existing port (reconnect after crash).
+func (s *Switch) AttachHost(name string) *HostPort {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if h, ok := s.hosts[name]; ok {
+		return h
+	}
+	h := &HostPort{
+		name: name,
+		sw:   s,
+		link: simclock.NewResource("cxl-link/"+name, s.cfg.HostLinkBW),
+	}
+	s.hosts[name] = h
+	return h
+}
+
+// HostPort is one host's attachment to the switch.
+type HostPort struct {
+	name string
+	sw   *Switch
+	link *simclock.Resource
+}
+
+// Name reports the host name.
+func (h *HostPort) Name() string { return h.name }
+
+// Link exposes the host's CXL link resource (for cache wiring and stats).
+func (h *HostPort) Link() *simclock.Resource { return h.link }
+
+// NewCache builds a CPU cache for a database node on this host, wired to
+// charge the host link on fills and write-backs.
+func (h *HostPort) NewCache(node string, capacityBytes int64) *simcpu.Cache {
+	c := simcpu.New(node, capacityBytes, 5)
+	c.SetLink(h.link)
+	return c
+}
+
+// Allocate requests size bytes of pooled CXL memory for client via the
+// manager RPC and returns a bounds-checked region. One RPC at startup, as in
+// the paper.
+func (h *HostPort) Allocate(clk *simclock.Clock, client string, size int64) (*simmem.Region, error) {
+	resp, err := h.sw.rpc.Call(clk, mgrEndpoint, "alloc", 64, allocReq{Client: client, Size: size})
+	if err != nil {
+		return nil, err
+	}
+	off := resp.(int64)
+	return h.sw.dev.Region(off, size)
+}
+
+// Reattach recovers the region previously allocated to client — the restart
+// path after a host crash: the manager's lease state survived on the switch
+// controller, so the new process maps the same offset and finds its buffer
+// pool intact.
+func (h *HostPort) Reattach(clk *simclock.Clock, client string) (*simmem.Region, error) {
+	resp, err := h.sw.rpc.Call(clk, mgrEndpoint, "reattach", 64, client)
+	if err != nil {
+		return nil, err
+	}
+	lease := resp.(lease)
+	return h.sw.dev.Region(lease.off, lease.size)
+}
+
+// Release frees client's allocation.
+func (h *HostPort) Release(clk *simclock.Clock, client string) error {
+	_, err := h.sw.rpc.Call(clk, mgrEndpoint, "free", 64, client)
+	return err
+}
+
+// transfer charges a calibrated bulk copy: the table value already includes
+// transfer time, so the link/fabric service portions are subtracted from
+// the fixed latency — an uncontended copy costs exactly the Table 2 value,
+// while concurrent copies queue on the shared links.
+func (h *HostPort) transfer(clk *simclock.Clock, tab *simmem.LatencyTable, n int64) {
+	fixed := tab.Cost(n) - h.link.ServiceTime(n) - h.sw.fabric.ServiceTime(n)
+	if fixed > 0 {
+		clk.Advance(fixed)
+	}
+	h.link.Use(clk, n)
+	h.sw.fabric.Use(clk, n)
+}
+
+// TransferRead charges the calibrated bulk CXL->DRAM copy cost (Table 2)
+// for n bytes, including link and fabric bandwidth.
+func (h *HostPort) TransferRead(clk *simclock.Clock, n int64) {
+	h.transfer(clk, ReadTransfer, n)
+}
+
+// TransferWrite charges the calibrated bulk DRAM->CXL copy cost for n bytes.
+func (h *HostPort) TransferWrite(clk *simclock.Clock, n int64) {
+	h.transfer(clk, WriteTransfer, n)
+}
+
+// String implements fmt.Stringer for diagnostics.
+func (h *HostPort) String() string { return fmt.Sprintf("cxl-host(%s)", h.name) }

@@ -1,0 +1,24 @@
+package mtr
+
+import "sync/atomic"
+
+// IDGen hands out unique unit ids for transactions and system
+// mini-transactions. Ids are process-local; recovery only compares them for
+// equality against commit markers in the durable log.
+type IDGen struct {
+	n atomic.Uint64
+}
+
+// Next returns the next id (starting at 1).
+func (g *IDGen) Next() uint64 { return g.n.Add(1) }
+
+// Bump raises the counter to at least n (restart bootstrapping so new units
+// never collide with logged ones).
+func (g *IDGen) Bump(n uint64) {
+	for {
+		cur := g.n.Load()
+		if cur >= n || g.n.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}

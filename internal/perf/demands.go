@@ -1,0 +1,132 @@
+package perf
+
+import "math"
+
+// Rates are the capacity constants the demand-to-station conversion uses,
+// calibrated from the paper's testbed (§2.2, §2.3, §4.1).
+type Rates struct {
+	NICBandwidth  float64 // per-host RDMA NIC, bytes/s
+	DoorbellRate  float64 // per-host verb issue rate, ops/s
+	LinkBandwidth float64 // per-host CXL x16 link, bytes/s
+	FabricBW      float64 // CXL switch fabric, bytes/s
+	StorageBW     float64 // shared page store channel, bytes/s
+	LogBW         float64 // log device, bytes/s
+}
+
+// DefaultRates mirrors the calibration constants in internal/cxl and
+// internal/rdma.
+func DefaultRates() Rates {
+	return Rates{
+		NICBandwidth:  12e9,
+		DoorbellRate:  15e6,
+		LinkBandwidth: 64e9,
+		FabricBW:      2e12,
+		StorageBW:     2e9,
+		LogBW:         2e9,
+	}
+}
+
+// Demands are measured per-operation resource requirements, produced by
+// running the functional workload once and dividing resource-stat deltas by
+// the operation count.
+type Demands struct {
+	Ops int64 // operations measured (denominator already applied)
+
+	CPUNs        float64 // vCPU nanoseconds per op
+	NICBytes     float64 // per-op bytes through the issuing host's NIC
+	Verbs        float64 // per-op RDMA verbs
+	CXLLinkBytes float64 // per-op bytes through the issuing host's CXL link
+	FabricBytes  float64 // per-op bytes through the switch fabric
+	StorageBytes float64 // per-op bytes to/from the page store
+	LogBytes     float64 // per-op bytes to the log device
+	DelayNs      float64 // residual uncontended latency per op (device
+	// latencies, RPC RTTs — time that passes but holds no shared capacity)
+
+	// Sharing-model extras (fig. 11-13).
+	LockHoldNs float64 // lock-held nanoseconds per op (weighted)
+	LockProb   float64 // fraction of ops taking a shared-page lock
+	HotPages   int     // distinct hot shared pages (lock pool width)
+}
+
+// ServiceNs reports the total per-op service time over capacity-limited
+// stations — used to derive DelayNs from a measured wall-clock per-op time.
+func (d Demands) ServiceNs(r Rates) float64 {
+	return d.CPUNs +
+		1e9*(d.NICBytes/r.NICBandwidth+
+			d.Verbs/r.DoorbellRate+
+			d.CXLLinkBytes/r.LinkBandwidth+
+			d.FabricBytes/r.FabricBW+
+			d.StorageBytes/r.StorageBW+
+			d.LogBytes/r.LogBW)
+}
+
+// PoolingStations builds the station set for the single-host pooling
+// experiments (figures 1, 3, 7-9): `instances` database instances of
+// vcpus vCPUs each share ONE host's NIC and CXL link.
+func PoolingStations(d Demands, r Rates, instances, vcpus int) []Station {
+	return []Station{
+		{Name: "cpu", Servers: instances * vcpus, Demand: d.CPUNs * 1e-9},
+		{Name: "nic", Servers: 1, Demand: d.NICBytes / r.NICBandwidth},
+		{Name: "doorbell", Servers: 1, Demand: d.Verbs / r.DoorbellRate},
+		{Name: "cxl-link", Servers: 1, Demand: d.CXLLinkBytes / r.LinkBandwidth},
+		{Name: "fabric", Servers: 1, Demand: d.FabricBytes / r.FabricBW},
+		{Name: "storage", Servers: 1, Demand: d.StorageBytes / r.StorageBW},
+		{Name: "log", Servers: 1, Demand: d.LogBytes / r.LogBW},
+		{Name: "latency", Servers: 0, Demand: d.DelayNs * 1e-9},
+	}
+}
+
+// SharingStations builds the station set for the multi-primary experiments
+// (figures 11-13, table 3): `nodes` nodes on separate hosts (own NIC, own
+// link), a disaggregated-memory side with dbpNICs network ports, the CXL
+// fabric, and the shared-page lock pool.
+func SharingStations(d Demands, r Rates, nodes, vcpus, dbpNICs int) []Station {
+	if dbpNICs < 1 {
+		dbpNICs = 1
+	}
+	hot := d.HotPages
+	if hot < 1 {
+		hot = 1
+	}
+	return []Station{
+		{Name: "cpu", Servers: nodes * vcpus, Demand: d.CPUNs * 1e-9},
+		{Name: "nic", Servers: nodes, Demand: d.NICBytes / r.NICBandwidth},
+		{Name: "dbp-nic", Servers: dbpNICs, Demand: d.NICBytes / r.NICBandwidth},
+		{Name: "cxl-link", Servers: nodes, Demand: d.CXLLinkBytes / r.LinkBandwidth},
+		{Name: "fabric", Servers: 1, Demand: d.FabricBytes / r.FabricBW},
+		{Name: "storage", Servers: 1, Demand: d.StorageBytes / r.StorageBW},
+		{Name: "lock", Servers: hot, Demand: d.LockProb * d.LockHoldNs * 1e-9},
+		{Name: "latency", Servers: 0, Demand: d.DelayNs * 1e-9},
+	}
+}
+
+// ContextSwitchNs is the penalty a thread pays when it blocks on a
+// contended page lock and is descheduled — the overhead the paper blames
+// for the throughput collapse of both systems at extreme sharing (§4.4:
+// "threads transitioning into sleep states, frequent thread context
+// switches").
+const ContextSwitchNs = 50_000
+
+// SolveContended runs MVA with contention feedback: when the lock pool is
+// busy, each acquisition's effective hold time grows by the sleep/wake-up
+// handoff — the blocked thread is descheduled and the lock sits assigned
+// but unused while the OS wakes it. The penalty is re-estimated to a fixed
+// point. Because the SAME absolute handoff cost lands on both systems, it
+// compresses the CXL-vs-RDMA gap at 100% shared data, exactly as the paper
+// observes (§4.4: "threads transitioning into sleep states, frequent
+// thread context switches ... becomes a new bottleneck").
+func SolveContended(build func(extraHoldNs float64) []Station, clients int) Result {
+	extra := 0.0
+	var res Result
+	for iter := 0; iter < 40; iter++ {
+		res = MVA(build(extra), clients)
+		u := res.Util["lock"]
+		// P(handoff to a sleeping thread) ~ lock utilization; sleep + wake.
+		next := u * 2 * ContextSwitchNs
+		if math.Abs(next-extra) < 10 {
+			break
+		}
+		extra = 0.6*extra + 0.4*next
+	}
+	return res
+}

@@ -1,0 +1,139 @@
+// Package perf computes multi-instance scaling curves from measured
+// per-operation resource demands, using exact Mean-Value Analysis (MVA) of
+// a closed queueing network.
+//
+// Why a queueing model: the paper's pooling figures (7-9) and sharing
+// figures (11-13) are classic closed-system saturation curves — throughput
+// rises linearly with offered load until the bottleneck resource (the
+// 12 GB/s RDMA NIC, or the page-lock service under contention) saturates,
+// after which throughput plateaus and latency rises linearly with
+// population. The functional simulator measures what one operation demands
+// from each resource (CPU nanoseconds, NIC bytes, CXL link bytes, lock hold
+// time); MVA then reproduces the whole curve deterministically, which is
+// the honest substitute for the 192-vCPU testbed this reproduction does not
+// have (see DESIGN.md).
+//
+// Multi-server stations (a 16-vCPU instance, a pool of page locks) use the
+// Seidmann approximation: an m-server station with per-op demand D behaves
+// like a single queueing server with demand D/m plus a delay of D·(m-1)/m.
+package perf
+
+import "fmt"
+
+// Station is one resource in the closed network.
+type Station struct {
+	Name    string
+	Servers int     // 0 = pure delay (infinite servers), 1 = queueing, m>1 = multi-server
+	Demand  float64 // seconds of service one operation needs here
+}
+
+// Result is the model solution for one population.
+type Result struct {
+	Clients    int
+	Throughput float64 // operations per second
+	Latency    float64 // seconds per operation (response time)
+	Util       map[string]float64
+	Bottleneck string
+}
+
+// MVA solves the network for n clients with zero think time. It panics on
+// invalid inputs (negative demand, negative servers) because demands are
+// always produced programmatically.
+func MVA(stations []Station, n int) Result {
+	if n <= 0 {
+		return Result{Clients: n, Util: map[string]float64{}}
+	}
+	type st struct {
+		name       string
+		qDemand    float64 // queueing portion
+		dDemand    float64 // delay portion
+		rawDemand  float64
+		queueing   bool
+		population float64 // Q_k
+	}
+	sts := make([]st, 0, len(stations))
+	for _, s := range stations {
+		if s.Demand < 0 || s.Servers < 0 {
+			panic(fmt.Sprintf("perf: invalid station %+v", s))
+		}
+		if s.Demand == 0 {
+			continue
+		}
+		switch {
+		case s.Servers == 0:
+			sts = append(sts, st{name: s.Name, dDemand: s.Demand})
+		case s.Servers == 1:
+			sts = append(sts, st{name: s.Name, qDemand: s.Demand, rawDemand: s.Demand, queueing: true})
+		default:
+			m := float64(s.Servers)
+			sts = append(sts, st{
+				name:      s.Name,
+				qDemand:   s.Demand / m,
+				dDemand:   s.Demand * (m - 1) / m,
+				rawDemand: s.Demand,
+				queueing:  true,
+			})
+		}
+	}
+	var x float64
+	for pop := 1; pop <= n; pop++ {
+		var rTotal float64
+		for i := range sts {
+			r := sts[i].dDemand
+			if sts[i].queueing {
+				r += sts[i].qDemand * (1 + sts[i].population)
+			}
+			rTotal += r
+		}
+		if rTotal <= 0 {
+			return Result{Clients: n, Util: map[string]float64{}}
+		}
+		x = float64(pop) / rTotal
+		for i := range sts {
+			r := sts[i].dDemand
+			if sts[i].queueing {
+				r += sts[i].qDemand * (1 + sts[i].population)
+			}
+			sts[i].population = x * r
+		}
+	}
+	res := Result{Clients: n, Throughput: x, Util: make(map[string]float64, len(sts))}
+	if x > 0 {
+		res.Latency = float64(n) / x
+	}
+	var worst float64
+	for i := range sts {
+		if !sts[i].queueing {
+			continue
+		}
+		u := x * sts[i].qDemand
+		if u > 1 {
+			u = 1
+		}
+		res.Util[sts[i].name] = u
+		if u > worst {
+			worst = u
+			res.Bottleneck = sts[i].name
+		}
+	}
+	return res
+}
+
+// Capacity reports the asymptotic throughput limit: 1 / max queueing
+// demand (per-server).
+func Capacity(stations []Station) float64 {
+	var worst float64
+	for _, s := range stations {
+		if s.Servers == 0 || s.Demand == 0 {
+			continue
+		}
+		d := s.Demand / float64(max(s.Servers, 1))
+		if d > worst {
+			worst = d
+		}
+	}
+	if worst == 0 {
+		return 0
+	}
+	return 1 / worst
+}

@@ -1,0 +1,223 @@
+package perf
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSingleStationAsymptote(t *testing.T) {
+	// One queueing station with D=1ms: X(1)=1000 ops/s, X(inf)->1000.
+	sts := []Station{{Name: "s", Servers: 1, Demand: 0.001}}
+	r1 := MVA(sts, 1)
+	if math.Abs(r1.Throughput-1000) > 1e-6 {
+		t.Fatalf("X(1) = %g", r1.Throughput)
+	}
+	r100 := MVA(sts, 100)
+	if math.Abs(r100.Throughput-1000) > 1e-6 {
+		t.Fatalf("X(100) = %g", r100.Throughput)
+	}
+	// Latency grows linearly once saturated: R(n) = n*D.
+	if math.Abs(r100.Latency-0.1) > 1e-6 {
+		t.Fatalf("R(100) = %g", r100.Latency)
+	}
+	if r100.Bottleneck != "s" || r100.Util["s"] < 0.999 {
+		t.Fatalf("bottleneck report: %+v", r100)
+	}
+}
+
+func TestDelayStationNoQueueing(t *testing.T) {
+	// Pure delay: X(n) = n/D, no saturation.
+	sts := []Station{{Name: "d", Servers: 0, Demand: 0.001}}
+	r := MVA(sts, 50)
+	if math.Abs(r.Throughput-50000) > 1e-6 {
+		t.Fatalf("X(50) = %g", r.Throughput)
+	}
+	if math.Abs(r.Latency-0.001) > 1e-9 {
+		t.Fatalf("R = %g", r.Latency)
+	}
+}
+
+func TestTwoStationBottleneck(t *testing.T) {
+	// The slower station wins.
+	sts := []Station{
+		{Name: "fast", Servers: 1, Demand: 0.0001},
+		{Name: "slow", Servers: 1, Demand: 0.001},
+	}
+	r := MVA(sts, 200)
+	if r.Bottleneck != "slow" {
+		t.Fatalf("bottleneck = %q", r.Bottleneck)
+	}
+	if math.Abs(r.Throughput-1000) > 1 {
+		t.Fatalf("X = %g", r.Throughput)
+	}
+	if got := Capacity(sts); math.Abs(got-1000) > 1e-6 {
+		t.Fatalf("capacity = %g", got)
+	}
+}
+
+func TestMultiServerScalesCapacity(t *testing.T) {
+	// 16 servers of D=1ms: capacity 16000 ops/s.
+	sts := []Station{{Name: "cpu", Servers: 16, Demand: 0.001}}
+	if got := Capacity(sts); math.Abs(got-16000) > 1e-6 {
+		t.Fatalf("capacity = %g", got)
+	}
+	// At low population it behaves like a delay (latency ~ D).
+	r1 := MVA(sts, 1)
+	if math.Abs(r1.Latency-0.001) > 1e-9 {
+		t.Fatalf("R(1) = %g", r1.Latency)
+	}
+	// At high population throughput approaches 16000.
+	r := MVA(sts, 500)
+	if r.Throughput < 15000 || r.Throughput > 16001 {
+		t.Fatalf("X(500) = %g", r.Throughput)
+	}
+}
+
+func TestThroughputMonotoneAndBounded(t *testing.T) {
+	// Property: X(n) is nondecreasing in n and never exceeds capacity.
+	f := func(d1, d2 uint16, servers uint8) bool {
+		sts := []Station{
+			{Name: "a", Servers: 1, Demand: float64(d1%1000+1) * 1e-6},
+			{Name: "b", Servers: int(servers%8) + 1, Demand: float64(d2%1000+1) * 1e-6},
+			{Name: "z", Servers: 0, Demand: 50e-6},
+		}
+		cap := Capacity(sts)
+		prev := 0.0
+		for n := 1; n <= 64; n *= 2 {
+			r := MVA(sts, n)
+			if r.Throughput+1e-9 < prev {
+				return false
+			}
+			if r.Throughput > cap*1.0001 {
+				return false
+			}
+			prev = r.Throughput
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLittlesLaw(t *testing.T) {
+	// Property: N = X * R exactly (closed network, zero think time).
+	sts := []Station{
+		{Name: "a", Servers: 1, Demand: 0.0002},
+		{Name: "b", Servers: 4, Demand: 0.0008},
+		{Name: "d", Servers: 0, Demand: 0.0001},
+	}
+	for _, n := range []int{1, 7, 33, 128} {
+		r := MVA(sts, n)
+		if math.Abs(r.Throughput*r.Latency-float64(n)) > 1e-6 {
+			t.Fatalf("N=%d: X*R = %g", n, r.Throughput*r.Latency)
+		}
+	}
+}
+
+func TestZeroAndDegenerateInputs(t *testing.T) {
+	if r := MVA(nil, 10); r.Throughput != 0 {
+		t.Fatal("empty network produced throughput")
+	}
+	if r := MVA([]Station{{Name: "x", Servers: 1, Demand: 0.001}}, 0); r.Throughput != 0 {
+		t.Fatal("zero clients produced throughput")
+	}
+	// Zero-demand stations are ignored.
+	r := MVA([]Station{
+		{Name: "zero", Servers: 1, Demand: 0},
+		{Name: "real", Servers: 1, Demand: 0.001},
+	}, 10)
+	if math.Abs(r.Throughput-1000) > 1e-6 {
+		t.Fatalf("X = %g", r.Throughput)
+	}
+	if Capacity(nil) != 0 {
+		t.Fatal("empty capacity nonzero")
+	}
+}
+
+func TestMVAPanicsOnNegativeDemand(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative demand accepted")
+		}
+	}()
+	MVA([]Station{{Name: "bad", Servers: 1, Demand: -1}}, 1)
+}
+
+func TestPoolingStationsShape(t *testing.T) {
+	d := Demands{CPUNs: 50_000, NICBytes: 16384, DelayNs: 100_000}
+	r := DefaultRates()
+	// 1 instance: CPU-bound region; 12 instances: NIC-bound.
+	one := MVA(PoolingStations(d, r, 1, 16), 48)
+	twelve := MVA(PoolingStations(d, r, 12, 16), 12*48)
+	if twelve.Bottleneck != "nic" {
+		t.Fatalf("12-instance bottleneck = %q", twelve.Bottleneck)
+	}
+	// NIC capacity = 12e9/16384 = ~732K ops/s; 12 instances must be capped
+	// near it while 1 instance is below its CPU cap.
+	if twelve.Throughput > 12e9/16384*1.001 {
+		t.Fatalf("X(12) = %g exceeds NIC capacity", twelve.Throughput)
+	}
+	if one.Throughput > 16.0/50e-6*1.001 {
+		t.Fatalf("X(1) = %g exceeds CPU capacity", one.Throughput)
+	}
+	// And a CXL variant with no NIC bytes keeps scaling.
+	dc := Demands{CPUNs: 52_000, CXLLinkBytes: 600, DelayNs: 110_000}
+	cxl12 := MVA(PoolingStations(dc, r, 12, 16), 12*48)
+	if cxl12.Throughput < 2*twelve.Throughput {
+		t.Fatalf("CXL (%.0f) did not outscale RDMA (%.0f)", cxl12.Throughput, twelve.Throughput)
+	}
+}
+
+func TestServiceNsAndDelayDerivation(t *testing.T) {
+	d := Demands{CPUNs: 10_000, NICBytes: 12_000, StorageBytes: 2_000}
+	r := DefaultRates()
+	// 10_000 + 12_000/12e9*1e9 + 2_000/2e9*1e9 = 10_000 + 1_000 + 1_000.
+	if got := d.ServiceNs(r); math.Abs(got-12_000) > 1 {
+		t.Fatalf("ServiceNs = %g", got)
+	}
+}
+
+func TestSolveContendedCompressesGap(t *testing.T) {
+	// Two systems differing only in lock hold time. Without contention
+	// feedback the saturated ratio equals the hold ratio; with feedback the
+	// ratio compresses — the paper's 100%-shared behaviour.
+	r := DefaultRates()
+	build := func(holdNs float64) func(extra float64) []Station {
+		return func(extra float64) []Station {
+			d := Demands{CPUNs: 50_000, LockProb: 1, LockHoldNs: holdNs + extra, HotPages: 4, DelayNs: 50_000}
+			return SharingStations(d, r, 8, 16, 2)
+		}
+	}
+	const clients = 8 * 32
+	slow := SolveContended(build(60_000), clients) // RDMA-ish hold
+	fast := SolveContended(build(15_000), clients) // CXL-ish hold
+	rawSlow := MVA(build(60_000)(0), clients)
+	rawFast := MVA(build(15_000)(0), clients)
+	rawRatio := rawFast.Throughput / rawSlow.Throughput
+	fbRatio := fast.Throughput / slow.Throughput
+	if fbRatio >= rawRatio {
+		t.Fatalf("contention feedback did not compress: raw %.2f, fb %.2f", rawRatio, fbRatio)
+	}
+	if fbRatio < 1.05 {
+		t.Fatalf("advantage disappeared entirely: %.2f", fbRatio)
+	}
+}
+
+func TestSharingStationsLockPool(t *testing.T) {
+	d := Demands{CPUNs: 50_000, LockProb: 0.5, LockHoldNs: 40_000, HotPages: 8}
+	sts := SharingStations(d, DefaultRates(), 8, 16, 2)
+	var lock *Station
+	for i := range sts {
+		if sts[i].Name == "lock" {
+			lock = &sts[i]
+		}
+	}
+	if lock == nil || lock.Servers != 8 {
+		t.Fatalf("lock station %+v", lock)
+	}
+	if math.Abs(lock.Demand-0.5*40e-6) > 1e-12 {
+		t.Fatalf("lock demand %g", lock.Demand)
+	}
+}

@@ -1,0 +1,150 @@
+package rdma
+
+import (
+	"bytes"
+	"testing"
+
+	"polarcxlmem/internal/simclock"
+)
+
+func TestTable2Echo(t *testing.T) {
+	reads := map[int64]int64{64: 4550, 512: 4790, 1024: 4910, 4096: 5580, 16384: 7130}
+	for sz, want := range reads {
+		if got := ReadLatency.Cost(sz); got != want {
+			t.Errorf("ReadLatency(%d) = %d, want %d", sz, got, want)
+		}
+	}
+	writes := map[int64]int64{64: 4480, 512: 4690, 1024: 4770, 4096: 5060, 16384: 6120}
+	for sz, want := range writes {
+		if got := WriteLatency.Cost(sz); got != want {
+			t.Errorf("WriteLatency(%d) = %d, want %d", sz, got, want)
+		}
+	}
+}
+
+func TestRDMALatencyInsensitiveToSizeVsCXL(t *testing.T) {
+	// The paper's observation (§2.3): 64B -> 16KB grows RDMA read latency by
+	// ~57% while CXL read latency grows by ~228%.
+	growth := float64(ReadLatency.Cost(16384)-ReadLatency.Cost(64)) / float64(ReadLatency.Cost(64))
+	if growth < 0.3 || growth > 0.9 {
+		t.Fatalf("RDMA read growth 64B->16KB = %.2f, want ~0.57", growth)
+	}
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	p := NewPool("pool", 1<<16)
+	nic := NewNIC("h0", 0, 0)
+	clk := simclock.New()
+	data := []byte("remote page contents")
+	if err := p.Write(clk, nic, 4096, data); err != nil {
+		t.Fatal(err)
+	}
+	afterWrite := clk.Now()
+	if afterWrite < WriteLatency.Cost(int64(len(data))) {
+		t.Fatalf("write charged %d ns", afterWrite)
+	}
+	got := make([]byte, len(data))
+	if err := p.Read(clk, nic, 4096, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("read back %q", got)
+	}
+	if clk.Now() <= afterWrite {
+		t.Fatal("read charged nothing")
+	}
+}
+
+func TestNICBandwidthSaturation(t *testing.T) {
+	// Two workers pushing 16KB pages through one NIC must queue on its
+	// bandwidth: completion of the later transfer reflects serialization.
+	p := NewPool("pool", 1<<20)
+	nic := NewNIC("h0", 1e9, 0) // 1 GB/s for easy math
+	a, b := simclock.New(), simclock.New()
+	page := make([]byte, 16384)
+	if err := p.Write(a, nic, 0, page); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Write(b, nic, 16384, page); err != nil {
+		t.Fatal(err)
+	}
+	// Each transfer occupies the 1 GB/s server for 16384 ns; the second must
+	// finish at least 2*16384 ns in.
+	if b.Now() < 2*16384 {
+		t.Fatalf("second transfer finished at %d ns; NIC did not serialize", b.Now())
+	}
+	if nic.Bandwidth().Stats().Units != 32768 {
+		t.Fatalf("NIC counted %d bytes", nic.Bandwidth().Stats().Units)
+	}
+}
+
+func TestDoorbellCountsOps(t *testing.T) {
+	p := NewPool("pool", 1<<16)
+	nic := NewNIC("h0", 0, 1e6) // 1M ops/s: 1000 ns per doorbell
+	clk := simclock.New()
+	buf := make([]byte, 64)
+	for i := 0; i < 3; i++ {
+		if err := p.Read(clk, nic, 0, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Three serialized doorbells at 1000 ns each plus read latencies.
+	if clk.Now() < 3*1000+3*ReadLatency.Cost(64) {
+		t.Fatalf("doorbell not charged: clock %d", clk.Now())
+	}
+}
+
+func TestPoolSurvivesClientCrash(t *testing.T) {
+	// Remote memory outlives the database host: baseline recovery reads
+	// stale-but-present pages from it after a crash (§2.2 item 2).
+	p := NewPool("pool", 4096)
+	nic := NewNIC("h0", 0, 0)
+	clk := simclock.New()
+	if err := p.Write(clk, nic, 0, []byte("page v1")); err != nil {
+		t.Fatal(err)
+	}
+	// Crash: NIC and clock dropped; a new host connects.
+	nic2 := NewNIC("h0-restarted", 0, 0)
+	clk2 := simclock.New()
+	got := make([]byte, 7)
+	if err := p.Read(clk2, nic2, 0, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "page v1" {
+		t.Fatalf("post-crash pool contents %q", got)
+	}
+}
+
+func TestBoundsAndNilNIC(t *testing.T) {
+	p := NewPool("pool", 128)
+	clk := simclock.New()
+	if err := p.Read(clk, nil, 0, make([]byte, 8)); err == nil {
+		t.Fatal("nil NIC accepted")
+	}
+	nic := NewNIC("h", 0, 0)
+	if err := p.Read(clk, nic, 120, make([]byte, 64)); err == nil {
+		t.Fatal("out-of-bounds read accepted")
+	}
+	if err := p.Write(clk, nic, -4, []byte{1}); err == nil {
+		t.Fatal("negative-offset write accepted")
+	}
+	if p.Size() != 128 {
+		t.Fatalf("size = %d", p.Size())
+	}
+}
+
+func TestSendChargesNIC(t *testing.T) {
+	nic := NewNIC("h", 0, 0)
+	clk := simclock.New()
+	nic.Send(clk, 64)
+	if clk.Now() < WriteLatency.Cost(64) {
+		t.Fatalf("send charged %d ns", clk.Now())
+	}
+	nic.ResetStats()
+	if nic.Bandwidth().Stats().Units != 0 {
+		t.Fatal("ResetStats did not clear bandwidth")
+	}
+	if nic.CostRead(64) != 4550 || nic.CostWrite(64) != 4480 {
+		t.Fatal("cost accessors wrong")
+	}
+}

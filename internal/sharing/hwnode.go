@@ -1,0 +1,220 @@
+package sharing
+
+import (
+	"fmt"
+	"sync"
+
+	"polarcxlmem/internal/simclock"
+	"polarcxlmem/internal/simcpu"
+	"polarcxlmem/internal/simmem"
+)
+
+// HWNode is the CXL 3.0 projection of a multi-primary node: the switch
+// provides hardware cache coherency (a simcpu.Domain), so the paper's
+// software protocol disappears from the data path —
+//
+//   - no invalid-flag check before access (hardware back-invalidates),
+//   - no clflush on write-lock release (stores propagate coherently),
+//   - no flag stores from the fusion server on unlock.
+//
+// What remains is the transactional machinery the paper says survives into
+// CXL 3.0 (§2.2 item 4 reads "the CXL 3.0 protocol natively implements
+// cache coherency, removing this overhead from the application layer"):
+// distributed page locks for isolation, and removal flags for DBP frame
+// recycling (capacity management is not a coherency problem).
+type HWNode struct {
+	name   string
+	fusion *Fusion
+	cache  *simcpu.Cache
+	flags  *simmem.Region
+	dbp    *simmem.Region
+
+	mu        sync.Mutex
+	meta      map[uint64]*pmeta
+	freeSlots []int
+	nslots    int
+	stats     NodeStats
+}
+
+// NewHWNode builds a CXL 3.0 node. The caller must have attached cache to a
+// simcpu.Domain shared by all nodes of the cluster; without a domain the
+// node would be incoherent (use Node and the software protocol instead).
+func NewHWNode(name string, fusion *Fusion, cache *simcpu.Cache, flagRegion *simmem.Region) *HWNode {
+	n := &HWNode{
+		name:   name,
+		fusion: fusion,
+		cache:  cache,
+		flags:  flagRegion,
+		dbp:    fusion.Region(),
+		meta:   make(map[uint64]*pmeta),
+		nslots: int(flagRegion.Size() / flagEntrySize),
+	}
+	for i := n.nslots - 1; i >= 0; i-- {
+		n.freeSlots = append(n.freeSlots, i)
+	}
+	return n
+}
+
+// Stats snapshots the node's counters.
+func (n *HWNode) Stats() NodeStats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stats
+}
+
+func (n *HWNode) flagOffsets(slot int) flagAddrs {
+	base := n.flags.Base() + int64(slot)*flagEntrySize
+	return flagAddrs{invalid: base, removal: base + 8}
+}
+
+// ensurePage mirrors Node.ensurePage minus the install-time invalidation
+// (hardware handles stale lines) — removal flags stay, they manage frame
+// recycling.
+func (n *HWNode) ensurePage(clk *simclock.Clock, pageID uint64) (*pmeta, error) {
+	n.mu.Lock()
+	m, ok := n.meta[pageID]
+	n.mu.Unlock()
+	if ok {
+		fa := n.flagOffsets(m.slot)
+		removed, err := n.fusion.dev.Load64(clk, fa.removal)
+		if err != nil {
+			return nil, err
+		}
+		if removed == 0 {
+			return m, nil
+		}
+		n.mu.Lock()
+		n.stats.Removals++
+		delete(n.meta, pageID)
+		n.freeSlots = append(n.freeSlots, m.slot)
+		n.mu.Unlock()
+	}
+	n.mu.Lock()
+	if len(n.freeSlots) == 0 {
+		for id, om := range n.meta {
+			delete(n.meta, id)
+			n.freeSlots = append(n.freeSlots, om.slot)
+			break
+		}
+		if len(n.freeSlots) == 0 {
+			n.mu.Unlock()
+			return nil, fmt.Errorf("sharing: hw node %s metadata buffer full", n.name)
+		}
+	}
+	slot := n.freeSlots[len(n.freeSlots)-1]
+	n.freeSlots = n.freeSlots[:len(n.freeSlots)-1]
+	n.stats.GetPageRPCs++
+	n.mu.Unlock()
+	fa := n.flagOffsets(slot)
+	if err := n.fusion.dev.Store64(clk, fa.removal, 0); err != nil {
+		return nil, err
+	}
+	off, err := n.fusion.GetPage(clk, n.name, pageID, fa)
+	if err != nil {
+		n.mu.Lock()
+		n.freeSlots = append(n.freeSlots, slot)
+		n.mu.Unlock()
+		return nil, err
+	}
+	// A recycled frame's stale lines: in 3.0 mode the directory
+	// back-invalidated them when the fusion server zeroed/reloaded the
+	// frame, but our fusion writes frames with raw (host-less) copies, so we
+	// conservatively drop locally cached lines of the frame range once.
+	if err := n.cache.Flush(clk, n.dbp, off, int(pageSizeFor(n.dbp, off))); err != nil {
+		return nil, err
+	}
+	m = &pmeta{slot: slot, dataOff: off}
+	n.mu.Lock()
+	n.meta[pageID] = m
+	n.mu.Unlock()
+	return m, nil
+}
+
+// pageSizeFor clamps a page-sized flush to the region end (defensive).
+func pageSizeFor(r *simmem.Region, off int64) int64 {
+	const ps = 16384
+	if off+ps > r.Size() {
+		return r.Size() - off
+	}
+	return ps
+}
+
+// Read copies len(buf) bytes under the page read lock. No invalid-flag
+// dance: the hardware kept the cache honest.
+func (n *HWNode) Read(clk *simclock.Clock, pageID uint64, off int64, buf []byte) error {
+	m, err := n.ensurePage(clk, pageID)
+	if err != nil {
+		return err
+	}
+	if err := n.fusion.Lock(clk, pageID, false); err != nil {
+		return err
+	}
+	defer n.fusion.UnlockRead(clk, pageID)
+	n.mu.Lock()
+	n.stats.Reads++
+	n.mu.Unlock()
+	return n.cache.Read(clk, n.dbp, m.dataOff+off, buf)
+}
+
+// Write stores data under the page write lock. No clflush on release: the
+// domain back-invalidated peers at store time and serves dirty lines
+// coherently.
+func (n *HWNode) Write(clk *simclock.Clock, pageID uint64, off int64, data []byte) error {
+	m, err := n.ensurePage(clk, pageID)
+	if err != nil {
+		return err
+	}
+	if err := n.fusion.Lock(clk, pageID, true); err != nil {
+		return err
+	}
+	if err := n.cache.Write(clk, n.dbp, m.dataOff+off, data); err != nil {
+		n.fusion.UnlockWrite(clk, n.name, pageID)
+		return err
+	}
+	n.mu.Lock()
+	n.stats.Writes++
+	n.mu.Unlock()
+	return n.unlockHW(clk, pageID)
+}
+
+// unlockHW releases the write lock WITHOUT the software protocol's flag
+// fan-out: hardware already invalidated the peers.
+func (n *HWNode) unlockHW(clk *simclock.Clock, pageID uint64) error {
+	clk.Advance(RPCNanos)
+	n.fusion.mu.Lock()
+	ps, ok := n.fusion.pages[pageID]
+	if ok {
+		ps.dirty = true
+	}
+	n.fusion.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("sharing: hw write-unlock of unknown page %d", pageID)
+	}
+	ps.lock.Unlock()
+	return nil
+}
+
+// ReadModifyWrite applies fn under one write lock.
+func (n *HWNode) ReadModifyWrite(clk *simclock.Clock, pageID uint64, off int64, length int, fn func([]byte)) error {
+	m, err := n.ensurePage(clk, pageID)
+	if err != nil {
+		return err
+	}
+	if err := n.fusion.Lock(clk, pageID, true); err != nil {
+		return err
+	}
+	buf := make([]byte, length)
+	if err := n.cache.Read(clk, n.dbp, m.dataOff+off, buf); err != nil {
+		n.fusion.UnlockWrite(clk, n.name, pageID)
+		return err
+	}
+	fn(buf)
+	if err := n.cache.Write(clk, n.dbp, m.dataOff+off, buf); err != nil {
+		n.fusion.UnlockWrite(clk, n.name, pageID)
+		return err
+	}
+	n.mu.Lock()
+	n.stats.Writes++
+	n.mu.Unlock()
+	return n.unlockHW(clk, pageID)
+}

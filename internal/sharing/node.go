@@ -1,0 +1,275 @@
+package sharing
+
+import (
+	"fmt"
+	"sync"
+
+	"polarcxlmem/internal/page"
+	"polarcxlmem/internal/simclock"
+	"polarcxlmem/internal/simcpu"
+	"polarcxlmem/internal/simmem"
+)
+
+// pmeta is a node's local metadata for one shared page (the paper's "page
+// metadata buffer" entry: data address + the CXL locations of this node's
+// invalid/removal flags).
+type pmeta struct {
+	slot    int
+	dataOff int64
+}
+
+// Node is one CXL multi-primary database node. It holds NO page data
+// locally: records are read and written in place in the shared DBP through
+// the node's CPU cache, with the software coherency protocol keeping cached
+// lines honest.
+type Node struct {
+	name   string
+	fusion *Fusion
+	cache  *simcpu.Cache
+	flags  *simmem.Region // this node's flag array in CXL
+	dbp    *simmem.Region // the shared DBP region (same device)
+
+	mu        sync.Mutex
+	meta      map[uint64]*pmeta
+	freeSlots []int
+	nslots    int
+
+	stats NodeStats
+
+	// DisableCoherency turns off invalid-flag checking — the knob that
+	// demonstrates the protocol is load-bearing (tests observe stale reads).
+	DisableCoherency bool
+}
+
+// NodeStats counts protocol events.
+type NodeStats struct {
+	GetPageRPCs   int64
+	Invalidations int64 // invalid flags observed and honoured
+	Removals      int64 // removal flags observed (page re-fetched)
+	Reads         int64
+	Writes        int64
+}
+
+// NewNode builds a node over the fusion server's DBP. flagRegion is the
+// node's own CXL allocation for flag words; its capacity bounds the page
+// metadata buffer.
+func NewNode(name string, fusion *Fusion, cache *simcpu.Cache, flagRegion *simmem.Region) *Node {
+	n := &Node{
+		name:   name,
+		fusion: fusion,
+		cache:  cache,
+		flags:  flagRegion,
+		dbp:    fusion.Region(),
+		meta:   make(map[uint64]*pmeta),
+		nslots: int(flagRegion.Size() / flagEntrySize),
+	}
+	for i := n.nslots - 1; i >= 0; i-- {
+		n.freeSlots = append(n.freeSlots, i)
+	}
+	return n
+}
+
+// Stats snapshots the node's protocol counters.
+func (n *Node) Stats() NodeStats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stats
+}
+
+// flagOffsets reports the absolute device offsets of slot's flag words.
+func (n *Node) flagOffsets(slot int) flagAddrs {
+	base := n.flags.Base() + int64(slot)*flagEntrySize
+	return flagAddrs{invalid: base, removal: base + 8}
+}
+
+// ensurePage returns the local metadata for pageID, fetching the CXL
+// address from the fusion server on first use or after a removal.
+func (n *Node) ensurePage(clk *simclock.Clock, pageID uint64) (*pmeta, error) {
+	n.mu.Lock()
+	m, ok := n.meta[pageID]
+	n.mu.Unlock()
+	if ok {
+		// Check the removal flag: the fusion server may have recycled the
+		// frame.
+		fa := n.flagOffsets(m.slot)
+		removed, err := n.fusion.dev.Load64(clk, fa.removal)
+		if err != nil {
+			return nil, err
+		}
+		if removed == 0 {
+			return m, nil
+		}
+		n.mu.Lock()
+		n.stats.Removals++
+		delete(n.meta, pageID)
+		n.freeSlots = append(n.freeSlots, m.slot)
+		n.mu.Unlock()
+	}
+	n.mu.Lock()
+	if len(n.freeSlots) == 0 {
+		// Reclaim: scan for an entry whose removal flag is set (the paper's
+		// background metadata recycler, run inline here).
+		for id, om := range n.meta {
+			fa := n.flagOffsets(om.slot)
+			if rm, _ := n.fusion.dev.Load64Raw(fa.removal); rm != 0 {
+				delete(n.meta, id)
+				n.freeSlots = append(n.freeSlots, om.slot)
+				break
+			}
+		}
+		// Still full: evict an arbitrary entry. Dropping local metadata is
+		// always safe — the mapping is re-fetched on next use, and the
+		// install-time invalidation below discards any stale cached lines.
+		for id, om := range n.meta {
+			delete(n.meta, id)
+			n.freeSlots = append(n.freeSlots, om.slot)
+			break
+		}
+		if len(n.freeSlots) == 0 {
+			n.mu.Unlock()
+			return nil, fmt.Errorf("sharing: node %s metadata buffer full (%d slots)", n.name, n.nslots)
+		}
+	}
+	slot := n.freeSlots[len(n.freeSlots)-1]
+	n.freeSlots = n.freeSlots[:len(n.freeSlots)-1]
+	n.stats.GetPageRPCs++
+	n.mu.Unlock()
+	fa := n.flagOffsets(slot)
+	// Reset our flag words before registering them.
+	if err := n.fusion.dev.Store64(clk, fa.invalid, 0); err != nil {
+		return nil, err
+	}
+	if err := n.fusion.dev.Store64(clk, fa.removal, 0); err != nil {
+		return nil, err
+	}
+	off, err := n.fusion.GetPage(clk, n.name, pageID, fa)
+	if err != nil {
+		n.mu.Lock()
+		n.freeSlots = append(n.freeSlots, slot)
+		n.mu.Unlock()
+		return nil, err
+	}
+	// Install-time invalidation: the frame may previously have held another
+	// page (fusion recycle) whose lines are still in this node's cache.
+	// They are clean by protocol, so the flush just discards them.
+	if err := n.cache.Flush(clk, n.dbp, off, page.Size); err != nil {
+		return nil, err
+	}
+	m = &pmeta{slot: slot, dataOff: off}
+	n.mu.Lock()
+	n.meta[pageID] = m
+	n.mu.Unlock()
+	return m, nil
+}
+
+// honourInvalid checks this node's invalid flag under the page lock and, if
+// set, clflushes the page range (invalidating the clean cached lines) and
+// clears the flag. Subsequent reads fetch the writer's lines from CXL.
+func (n *Node) honourInvalid(clk *simclock.Clock, m *pmeta) error {
+	if n.DisableCoherency {
+		return nil
+	}
+	fa := n.flagOffsets(m.slot)
+	inv, err := n.fusion.dev.Load64(clk, fa.invalid)
+	if err != nil {
+		return err
+	}
+	if inv == 0 {
+		return nil
+	}
+	if err := n.cache.Flush(clk, n.dbp, m.dataOff, page.Size); err != nil {
+		return err
+	}
+	if err := n.fusion.dev.Store64(clk, fa.invalid, 0); err != nil {
+		return err
+	}
+	n.mu.Lock()
+	n.stats.Invalidations++
+	n.mu.Unlock()
+	return nil
+}
+
+// Read copies len(buf) bytes at off within the shared page, under the
+// page's read lock, through this node's CPU cache.
+func (n *Node) Read(clk *simclock.Clock, pageID uint64, off int64, buf []byte) error {
+	m, err := n.ensurePage(clk, pageID)
+	if err != nil {
+		return err
+	}
+	if err := n.fusion.Lock(clk, pageID, false); err != nil {
+		return err
+	}
+	defer n.fusion.UnlockRead(clk, pageID)
+	if err := n.honourInvalid(clk, m); err != nil {
+		return err
+	}
+	n.mu.Lock()
+	n.stats.Reads++
+	n.mu.Unlock()
+	return n.cache.Read(clk, n.dbp, m.dataOff+off, buf)
+}
+
+// Write stores data at off within the shared page under the page's write
+// lock: update in place through the cache, clflush the page's dirty lines
+// (publication, cache-line granular), then release — which makes the fusion
+// server invalidate the other active nodes.
+func (n *Node) Write(clk *simclock.Clock, pageID uint64, off int64, data []byte) error {
+	m, err := n.ensurePage(clk, pageID)
+	if err != nil {
+		return err
+	}
+	if err := n.fusion.Lock(clk, pageID, true); err != nil {
+		return err
+	}
+	if err := n.honourInvalid(clk, m); err != nil {
+		n.fusion.UnlockWrite(clk, n.name, pageID)
+		return err
+	}
+	if err := n.cache.Write(clk, n.dbp, m.dataOff+off, data); err != nil {
+		n.fusion.UnlockWrite(clk, n.name, pageID)
+		return err
+	}
+	n.mu.Lock()
+	n.stats.Writes++
+	n.mu.Unlock()
+	// clflush: only this page's resident (dirty) lines move to CXL.
+	if err := n.cache.Flush(clk, n.dbp, m.dataOff, page.Size); err != nil {
+		n.fusion.UnlockWrite(clk, n.name, pageID)
+		return err
+	}
+	return n.fusion.UnlockWrite(clk, n.name, pageID)
+}
+
+// ReadModifyWrite applies fn to len bytes at off under one write lock —
+// the shape of a sysbench point-update (read the column, compute, store).
+func (n *Node) ReadModifyWrite(clk *simclock.Clock, pageID uint64, off int64, length int, fn func([]byte)) error {
+	m, err := n.ensurePage(clk, pageID)
+	if err != nil {
+		return err
+	}
+	if err := n.fusion.Lock(clk, pageID, true); err != nil {
+		return err
+	}
+	if err := n.honourInvalid(clk, m); err != nil {
+		n.fusion.UnlockWrite(clk, n.name, pageID)
+		return err
+	}
+	buf := make([]byte, length)
+	if err := n.cache.Read(clk, n.dbp, m.dataOff+off, buf); err != nil {
+		n.fusion.UnlockWrite(clk, n.name, pageID)
+		return err
+	}
+	fn(buf)
+	if err := n.cache.Write(clk, n.dbp, m.dataOff+off, buf); err != nil {
+		n.fusion.UnlockWrite(clk, n.name, pageID)
+		return err
+	}
+	n.mu.Lock()
+	n.stats.Writes++
+	n.mu.Unlock()
+	if err := n.cache.Flush(clk, n.dbp, m.dataOff, page.Size); err != nil {
+		n.fusion.UnlockWrite(clk, n.name, pageID)
+		return err
+	}
+	return n.fusion.UnlockWrite(clk, n.name, pageID)
+}

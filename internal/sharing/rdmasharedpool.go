@@ -1,0 +1,256 @@
+package sharing
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+
+	"polarcxlmem/internal/buffer"
+	"polarcxlmem/internal/cxl"
+	"polarcxlmem/internal/page"
+	"polarcxlmem/internal/rdma"
+	"polarcxlmem/internal/simclock"
+)
+
+// RDMASharedPool implements buffer.Pool over the RDMA-MP baseline, so the
+// full transaction engine runs multi-primary the PolarDB-MP way: every
+// buffer miss pulls a whole 16 KB page over RDMA into a local copy, and
+// every write-lock release pushes the whole page back and fans invalidation
+// messages to the other nodes. The engine-level counterpart of SharedPool,
+// with the same driving constraints (writers serialized across nodes).
+type RDMASharedPool struct {
+	node   string
+	fusion *RDMAFusion
+	nic    *rdma.NIC
+
+	mu       sync.Mutex
+	frames   map[uint64]*mpFrame
+	lru      *list.List
+	capacity int
+	barrier  buffer.FlushBarrier
+	stats    buffer.Stats
+}
+
+var _ buffer.Pool = (*RDMASharedPool)(nil)
+
+type mpFrame struct {
+	id   uint64
+	img  []byte
+	pins int
+	elem *list.Element
+}
+
+// NewRDMASharedPool builds one node's engine-facing view of the RDMA DBP
+// with an LBP of capacityPages local copies.
+func NewRDMASharedPool(node string, fusion *RDMAFusion, nic *rdma.NIC, capacityPages int) *RDMASharedPool {
+	p := &RDMASharedPool{
+		node:     node,
+		fusion:   fusion,
+		nic:      nic,
+		frames:   make(map[uint64]*mpFrame),
+		lru:      list.New(),
+		capacity: capacityPages,
+	}
+	fusion.mu.Lock()
+	fusion.nodes[node] = p
+	fusion.mu.Unlock()
+	return p
+}
+
+// dropLocal implements invalidation delivery: a peer's write obsoleted our
+// copy. Pinned frames are left in place — the holder owns the page lock, so
+// a concurrent invalidation for it cannot happen; unpinned copies go.
+func (p *RDMASharedPool) dropLocal(pageID uint64) {
+	p.mu.Lock()
+	if f, ok := p.frames[pageID]; ok && f.pins == 0 {
+		p.lru.Remove(f.elem)
+		delete(p.frames, pageID)
+	}
+	p.mu.Unlock()
+}
+
+// SetFlushBarrier implements buffer.Pool.
+func (p *RDMASharedPool) SetFlushBarrier(fb buffer.FlushBarrier) { p.barrier = fb }
+
+// Stats implements buffer.Pool.
+func (p *RDMASharedPool) Stats() buffer.Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// Resident implements buffer.Pool: the LBP copies this node holds — the
+// memory overhead the paper charges against this design.
+func (p *RDMASharedPool) Resident() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.frames)
+}
+
+// NIC exposes the node's NIC for bandwidth accounting.
+func (p *RDMASharedPool) NIC() *rdma.NIC { return p.nic }
+
+// localFrame returns the LBP copy, fetching the whole page over RDMA on a
+// miss. Caller must hold the page lock.
+func (p *RDMASharedPool) localFrame(clk *simclock.Clock, id uint64) (*mpFrame, error) {
+	p.mu.Lock()
+	if f, ok := p.frames[id]; ok {
+		f.pins++
+		p.lru.MoveToFront(f.elem)
+		p.stats.Hits++
+		p.mu.Unlock()
+		return f, nil
+	}
+	p.stats.Misses++
+	for len(p.frames) >= p.capacity {
+		evicted := false
+		for e := p.lru.Back(); e != nil; e = e.Prev() {
+			f := e.Value.(*mpFrame)
+			if f.pins > 0 {
+				continue
+			}
+			p.lru.Remove(e)
+			delete(p.frames, f.id)
+			p.stats.Evictions++
+			evicted = true
+			break
+		}
+		if !evicted {
+			p.mu.Unlock()
+			return nil, fmt.Errorf("sharing: node %s LBP fully pinned", p.node)
+		}
+	}
+	f := &mpFrame{id: id, img: make([]byte, page.Size), pins: 1}
+	f.elem = p.lru.PushFront(f)
+	p.frames[id] = f
+	p.stats.RemoteReads++
+	p.mu.Unlock()
+
+	p.fusion.mu.Lock()
+	ps := p.fusion.pages[id]
+	p.fusion.mu.Unlock()
+	if ps == nil {
+		return nil, fmt.Errorf("sharing: frame for unregistered page %d", id)
+	}
+	if err := p.fusion.dbp.Read(clk, p.nic, ps.off, f.img); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// Get implements buffer.Pool.
+func (p *RDMASharedPool) Get(clk *simclock.Clock, id uint64, mode buffer.Mode) (buffer.Frame, error) {
+	if _, err := p.fusion.getPage(clk, p.node, id); err != nil {
+		return nil, err
+	}
+	if err := p.fusion.Lock(clk, id, mode == buffer.Write); err != nil {
+		return nil, err
+	}
+	f, err := p.localFrame(clk, id)
+	if err != nil {
+		if mode == buffer.Write {
+			p.fusion.UnlockWrite(clk, p.node, id)
+		} else {
+			p.fusion.UnlockRead(clk, id)
+		}
+		return nil, err
+	}
+	return &mpBound{pool: p, clk: clk, f: f, mode: mode}, nil
+}
+
+// NewPage implements buffer.Pool: a globally fresh page.
+func (p *RDMASharedPool) NewPage(clk *simclock.Clock) (buffer.Frame, error) {
+	id := p.fusion.store.AllocPageID()
+	if _, err := p.fusion.createPage(clk, p.node, id); err != nil {
+		return nil, err
+	}
+	if err := p.fusion.Lock(clk, id, true); err != nil {
+		return nil, err
+	}
+	f, err := p.localFrame(clk, id)
+	if err != nil {
+		p.fusion.UnlockWrite(clk, p.node, id)
+		return nil, err
+	}
+	return &mpBound{pool: p, clk: clk, f: f, mode: buffer.Write}, nil
+}
+
+// FlushAll implements buffer.Pool: checkpointing the DBP through the fusion
+// server.
+func (p *RDMASharedPool) FlushAll(clk *simclock.Clock) error {
+	return p.fusion.FlushDirty(clk, p.barrier)
+}
+
+// mpBound is a latched local page copy.
+type mpBound struct {
+	pool     *RDMASharedPool
+	clk      *simclock.Clock
+	f        *mpFrame
+	mode     buffer.Mode
+	released bool
+	wrote    bool
+}
+
+func (b *mpBound) ID() uint64 { return b.f.id }
+
+func (b *mpBound) MarkDirty() {}
+
+func (b *mpBound) ReadAt(off int, buf []byte) error {
+	if b.released {
+		return fmt.Errorf("sharing: read on released mp frame %d", b.f.id)
+	}
+	if off < 0 || off+len(buf) > len(b.f.img) {
+		return fmt.Errorf("sharing: mp read out of bounds")
+	}
+	copy(buf, b.f.img[off:])
+	b.clk.Advance(cxl.BufferDRAMProfile().ReadCost(len(buf)))
+	return nil
+}
+
+func (b *mpBound) WriteAt(off int, data []byte) error {
+	if b.released {
+		return fmt.Errorf("sharing: write on released mp frame %d", b.f.id)
+	}
+	if b.mode != buffer.Write {
+		return fmt.Errorf("sharing: write to page %d under a read lock", b.f.id)
+	}
+	if off < 0 || off+len(data) > len(b.f.img) {
+		return fmt.Errorf("sharing: mp write out of bounds")
+	}
+	copy(b.f.img[off:], data)
+	b.clk.Advance(cxl.BufferDRAMProfile().WriteCost(len(data)))
+	b.wrote = true
+	return nil
+}
+
+// Release implements buffer.Frame: the PolarDB-MP release protocol — push
+// the FULL page to the DBP before the lock can move, then invalidate.
+func (b *mpBound) Release() error {
+	if b.released {
+		return fmt.Errorf("sharing: double release of mp frame %d", b.f.id)
+	}
+	b.released = true
+	p := b.pool
+	p.mu.Lock()
+	b.f.pins--
+	p.mu.Unlock()
+	if b.mode == buffer.Write {
+		if b.wrote {
+			p.fusion.mu.Lock()
+			ps := p.fusion.pages[b.f.id]
+			p.fusion.mu.Unlock()
+			if ps == nil {
+				return fmt.Errorf("sharing: release of unregistered page %d", b.f.id)
+			}
+			p.mu.Lock()
+			p.stats.RemoteWrites++
+			p.mu.Unlock()
+			if err := p.fusion.dbp.Write(b.clk, p.nic, ps.off, b.f.img); err != nil {
+				return err
+			}
+			return p.fusion.UnlockWrite(b.clk, p.node, b.f.id)
+		}
+		return p.fusion.unlockWriteCleanRDMA(b.clk, b.f.id)
+	}
+	return p.fusion.UnlockRead(b.clk, b.f.id)
+}

@@ -1,0 +1,282 @@
+package sharing
+
+import (
+	"fmt"
+	"sync"
+
+	"polarcxlmem/internal/buffer"
+	"polarcxlmem/internal/page"
+	"polarcxlmem/internal/simclock"
+	"polarcxlmem/internal/simcpu"
+	"polarcxlmem/internal/simmem"
+)
+
+// SharedPool implements buffer.Pool over the distributed buffer pool, which
+// lets the FULL transaction engine (B+tree, mini-transactions, WAL) run
+// multi-primary: several nodes execute transactions against the same tables
+// whose pages live once, in CXL, behind the fusion server.
+//
+// Mapping onto the engine's expectations:
+//
+//   - Get's latch is the DISTRIBUTED page lock — the paper's page-lock
+//     integration (§3.3): mini-transactions hold these locks until commit,
+//     exactly as PolarDB-MP's 2PL prescribes.
+//   - A write-latched frame is released by clflushing the page's dirty
+//     lines (publication) and unlocking at the fusion server, which flips
+//     the other nodes' invalid flags.
+//   - Get honours this node's removal and invalid flags before handing the
+//     frame out, so cached lines never go stale.
+//
+// Every node shares one wal.Log (a single global log stream) and one
+// storage.Store; unit-id spaces are disambiguated by the caller (give each
+// node's IDGen a distinct high-bit base).
+//
+// Known simplification: concurrent structure modifications from DIFFERENT
+// nodes could deadlock on page-lock order; PolarDB-MP resolves this with a
+// global SMO latch, reproduced here by TakeSMOLock (btree acquires its
+// per-tree writer mutex locally, so single-node behaviour is unchanged —
+// multi-node drivers serialize writers per table, as the tests do).
+type SharedPool struct {
+	node   string
+	fusion *Fusion
+	cache  *simcpu.Cache
+	flags  *simmem.Region
+	dbp    *simmem.Region
+
+	mu        sync.Mutex
+	meta      map[uint64]*pmeta
+	freeSlots []int
+	nslots    int
+	barrier   buffer.FlushBarrier
+	stats     buffer.Stats
+}
+
+var _ buffer.Pool = (*SharedPool)(nil)
+
+// NewSharedPool builds one node's view of the distributed buffer pool.
+func NewSharedPool(node string, fusion *Fusion, cache *simcpu.Cache, flagRegion *simmem.Region) *SharedPool {
+	p := &SharedPool{
+		node:   node,
+		fusion: fusion,
+		cache:  cache,
+		flags:  flagRegion,
+		dbp:    fusion.Region(),
+		meta:   make(map[uint64]*pmeta),
+		nslots: int(flagRegion.Size() / flagEntrySize),
+	}
+	for i := p.nslots - 1; i >= 0; i-- {
+		p.freeSlots = append(p.freeSlots, i)
+	}
+	return p
+}
+
+// SetFlushBarrier implements buffer.Pool (checkpointing is driven through
+// the fusion server in the MP deployment; the barrier applies there).
+func (p *SharedPool) SetFlushBarrier(fb buffer.FlushBarrier) { p.barrier = fb }
+
+// Stats implements buffer.Pool.
+func (p *SharedPool) Stats() buffer.Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// Resident implements buffer.Pool: like PolarCXLMem, a node holds no page
+// data locally — only metadata entries.
+func (p *SharedPool) Resident() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.meta)
+}
+
+func (p *SharedPool) flagOffsets(slot int) flagAddrs {
+	base := p.flags.Base() + int64(slot)*flagEntrySize
+	return flagAddrs{invalid: base, removal: base + 8}
+}
+
+// ensure returns the node's metadata for pageID, registering with the
+// fusion server on first use or after a removal. create selects the
+// fresh-page path (no storage image yet).
+func (p *SharedPool) ensure(clk *simclock.Clock, pageID uint64, create bool) (*pmeta, error) {
+	p.mu.Lock()
+	m, ok := p.meta[pageID]
+	p.mu.Unlock()
+	if ok {
+		fa := p.flagOffsets(m.slot)
+		removed, err := p.fusion.dev.Load64(clk, fa.removal)
+		if err != nil {
+			return nil, err
+		}
+		if removed == 0 {
+			return m, nil
+		}
+		p.mu.Lock()
+		delete(p.meta, pageID)
+		p.freeSlots = append(p.freeSlots, m.slot)
+		p.mu.Unlock()
+	}
+	p.mu.Lock()
+	if len(p.freeSlots) == 0 {
+		for id, om := range p.meta {
+			delete(p.meta, id)
+			p.freeSlots = append(p.freeSlots, om.slot)
+			break
+		}
+		if len(p.freeSlots) == 0 {
+			p.mu.Unlock()
+			return nil, fmt.Errorf("sharing: node %s pool metadata full", p.node)
+		}
+	}
+	slot := p.freeSlots[len(p.freeSlots)-1]
+	p.freeSlots = p.freeSlots[:len(p.freeSlots)-1]
+	p.mu.Unlock()
+	fa := p.flagOffsets(slot)
+	if err := p.fusion.dev.Store64(clk, fa.invalid, 0); err != nil {
+		return nil, err
+	}
+	if err := p.fusion.dev.Store64(clk, fa.removal, 0); err != nil {
+		return nil, err
+	}
+	var off int64
+	var err error
+	if create {
+		off, err = p.fusion.CreatePage(clk, p.node, pageID, fa)
+	} else {
+		off, err = p.fusion.GetPage(clk, p.node, pageID, fa)
+	}
+	if err != nil {
+		p.mu.Lock()
+		p.freeSlots = append(p.freeSlots, slot)
+		p.mu.Unlock()
+		return nil, err
+	}
+	// Install-time invalidation: the frame may have had another tenant.
+	if err := p.cache.Flush(clk, p.dbp, off, page.Size); err != nil {
+		return nil, err
+	}
+	m = &pmeta{slot: slot, dataOff: off}
+	p.mu.Lock()
+	p.meta[pageID] = m
+	p.mu.Unlock()
+	return m, nil
+}
+
+// honourInvalid drops possibly-stale cached lines when this node's invalid
+// flag is set. Must run under the page lock.
+func (p *SharedPool) honourInvalid(clk *simclock.Clock, m *pmeta) error {
+	fa := p.flagOffsets(m.slot)
+	inv, err := p.fusion.dev.Load64(clk, fa.invalid)
+	if err != nil {
+		return err
+	}
+	if inv == 0 {
+		return nil
+	}
+	if err := p.cache.Flush(clk, p.dbp, m.dataOff, page.Size); err != nil {
+		return err
+	}
+	return p.fusion.dev.Store64(clk, fa.invalid, 0)
+}
+
+// Get implements buffer.Pool: the latch is the distributed page lock.
+func (p *SharedPool) Get(clk *simclock.Clock, id uint64, mode buffer.Mode) (buffer.Frame, error) {
+	m, err := p.ensure(clk, id, false)
+	if err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	p.stats.Hits++
+	p.mu.Unlock()
+	if err := p.fusion.Lock(clk, id, mode == buffer.Write); err != nil {
+		return nil, err
+	}
+	if err := p.honourInvalid(clk, m); err != nil {
+		p.unlockErr(clk, id, mode)
+		return nil, err
+	}
+	return &sharedFrame{pool: p, clk: clk, id: id, m: m, mode: mode}, nil
+}
+
+// NewPage implements buffer.Pool: a globally fresh page, zero-filled in the
+// DBP.
+func (p *SharedPool) NewPage(clk *simclock.Clock) (buffer.Frame, error) {
+	id := p.fusion.store.AllocPageID()
+	m, err := p.ensure(clk, id, true)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.fusion.Lock(clk, id, true); err != nil {
+		return nil, err
+	}
+	return &sharedFrame{pool: p, clk: clk, id: id, m: m, mode: buffer.Write}, nil
+}
+
+func (p *SharedPool) unlockErr(clk *simclock.Clock, id uint64, mode buffer.Mode) {
+	if mode == buffer.Write {
+		p.fusion.UnlockWrite(clk, p.node, id)
+	} else {
+		p.fusion.UnlockRead(clk, id)
+	}
+}
+
+// FlushAll implements buffer.Pool: checkpointing the DBP is the fusion
+// server's job (it owns the dirty set); a node-side FlushAll delegates.
+func (p *SharedPool) FlushAll(clk *simclock.Clock) error {
+	return p.fusion.FlushDirty(clk, p.barrier)
+}
+
+// sharedFrame is a latched page accessed in place in the DBP through the
+// node's CPU cache.
+type sharedFrame struct {
+	pool     *SharedPool
+	clk      *simclock.Clock
+	id       uint64
+	m        *pmeta
+	mode     buffer.Mode
+	released bool
+	wrote    bool
+}
+
+func (f *sharedFrame) ID() uint64 { return f.id }
+
+func (f *sharedFrame) MarkDirty() {} // dirtiness is tracked at write-unlock
+
+func (f *sharedFrame) ReadAt(off int, buf []byte) error {
+	if f.released {
+		return fmt.Errorf("sharing: read on released shared frame %d", f.id)
+	}
+	return f.pool.cache.Read(f.clk, f.pool.dbp, f.m.dataOff+int64(off), buf)
+}
+
+func (f *sharedFrame) WriteAt(off int, data []byte) error {
+	if f.released {
+		return fmt.Errorf("sharing: write on released shared frame %d", f.id)
+	}
+	if f.mode != buffer.Write {
+		return fmt.Errorf("sharing: write to page %d under a read lock", f.id)
+	}
+	f.wrote = true
+	return f.pool.cache.Write(f.clk, f.pool.dbp, f.m.dataOff+int64(off), data)
+}
+
+// Release implements buffer.Frame: the §3.3 publication protocol on write
+// locks (clflush dirty lines, then unlock — the fusion server invalidates
+// the other active nodes).
+func (f *sharedFrame) Release() error {
+	if f.released {
+		return fmt.Errorf("sharing: double release of shared frame %d", f.id)
+	}
+	f.released = true
+	p := f.pool
+	if f.mode == buffer.Write {
+		if f.wrote {
+			if err := p.cache.Flush(f.clk, p.dbp, f.m.dataOff, page.Size); err != nil {
+				return err
+			}
+			return p.fusion.UnlockWrite(f.clk, p.node, f.id)
+		}
+		// Clean write latch: nothing to publish, nobody to invalidate.
+		return p.fusion.unlockWriteClean(f.clk, f.id)
+	}
+	return p.fusion.UnlockRead(f.clk, f.id)
+}

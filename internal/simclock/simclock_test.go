@@ -1,0 +1,243 @@
+package simclock
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestClockAdvance(t *testing.T) {
+	c := New()
+	if c.Now() != 0 {
+		t.Fatalf("new clock at %d, want 0", c.Now())
+	}
+	c.Advance(5 * Microsecond)
+	if c.Now() != 5000 {
+		t.Fatalf("after advance: %d, want 5000", c.Now())
+	}
+	c.Advance(-100)
+	if c.Now() != 5000 {
+		t.Fatalf("negative advance moved clock to %d", c.Now())
+	}
+	c.AdvanceTo(4000)
+	if c.Now() != 5000 {
+		t.Fatalf("AdvanceTo(past) moved clock to %d", c.Now())
+	}
+	c.AdvanceTo(9000)
+	if c.Now() != 9000 {
+		t.Fatalf("AdvanceTo(future): %d, want 9000", c.Now())
+	}
+}
+
+func TestClockNewAtAndSeconds(t *testing.T) {
+	c := NewAt(2 * Second)
+	if got := c.Seconds(); got != 2.0 {
+		t.Fatalf("Seconds() = %g, want 2.0", got)
+	}
+}
+
+func TestClockMonotonicProperty(t *testing.T) {
+	// Property: any sequence of Advance/AdvanceTo never decreases Now.
+	f := func(steps []int64) bool {
+		c := New()
+		prev := c.Now()
+		for i, s := range steps {
+			if i%2 == 0 {
+				c.Advance(s % Second)
+			} else {
+				c.AdvanceTo(s % Second)
+			}
+			if c.Now() < prev {
+				return false
+			}
+			prev = c.Now()
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResourceUncontendedServiceTime(t *testing.T) {
+	// 1 GB/s resource: 1000 bytes takes 1000 ns.
+	r := NewResource("link", 1e9)
+	c := New()
+	r.Use(c, 1000)
+	if c.Now() != 1000 {
+		t.Fatalf("uncontended 1000B at 1GB/s took %d ns, want 1000", c.Now())
+	}
+}
+
+func TestResourceQueueing(t *testing.T) {
+	r := NewResource("nic", 1e9) // 1 byte per ns
+	a, b := New(), New()
+	r.Use(a, 1000) // a: [0,1000)
+	r.Use(b, 500)  // b arrives at 0 but must wait until 1000
+	if b.Now() != 1500 {
+		t.Fatalf("queued request completed at %d, want 1500", b.Now())
+	}
+	st := r.Stats()
+	if st.Requests != 2 || st.Units != 1500 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.QueueNanos != 1000 {
+		t.Fatalf("queue time %d, want 1000", st.QueueNanos)
+	}
+}
+
+func TestResourceZeroUnits(t *testing.T) {
+	r := NewResource("x", 100)
+	c := NewAt(42)
+	r.Use(c, 0)
+	if c.Now() != 42 {
+		t.Fatalf("zero-unit use moved clock to %d", c.Now())
+	}
+	if r.Stats().Requests != 0 {
+		t.Fatal("zero-unit use was counted")
+	}
+}
+
+func TestResourcePanicsOnBadRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewResource(rate=0) did not panic")
+		}
+	}()
+	NewResource("bad", 0)
+}
+
+func TestResourceReset(t *testing.T) {
+	r := NewResource("r", 1e9)
+	c := New()
+	r.Use(c, 5000)
+	r.Reset()
+	st := r.Stats()
+	if st.Requests != 0 || st.Units != 0 || st.BusyNanos != 0 {
+		t.Fatalf("after reset: %+v", st)
+	}
+	c2 := New()
+	r.Use(c2, 100)
+	if c2.Now() != 100 {
+		t.Fatalf("post-reset request queued behind stale state: done at %d", c2.Now())
+	}
+}
+
+func TestResourceStatsThroughputUtilization(t *testing.T) {
+	r := NewResource("bw", 2e9) // 2 GB/s
+	c := New()
+	r.Use(c, 1_000_000) // 0.5 ms busy
+	st := r.Stats()
+	horizon := Millisecond
+	if got := st.Utilization(horizon); got < 0.49 || got > 0.51 {
+		t.Fatalf("utilization = %g, want ~0.5", got)
+	}
+	if got := st.Throughput(horizon); got < 0.99e9 || got > 1.01e9 {
+		t.Fatalf("throughput = %g, want ~1e9", got)
+	}
+	if st.Utilization(0) != 0 || st.Throughput(0) != 0 {
+		t.Fatal("zero horizon must report zero")
+	}
+}
+
+func TestResourceConcurrentUseConservesWork(t *testing.T) {
+	// Property: under concurrent use, total busy time equals sum of service
+	// demands and completions never overlap (nextFree is consistent).
+	r := NewResource("shared", 1e9)
+	const workers, per = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := New()
+			for i := 0; i < per; i++ {
+				r.Use(c, 100)
+			}
+		}()
+	}
+	wg.Wait()
+	st := r.Stats()
+	wantBusy := int64(workers * per * 100) // 100 bytes = 100 ns each
+	if st.BusyNanos != wantBusy {
+		t.Fatalf("busy %d, want %d", st.BusyNanos, wantBusy)
+	}
+	if st.LastFree < wantBusy {
+		t.Fatalf("lastFree %d < total busy %d: overlapping service", st.LastFree, wantBusy)
+	}
+}
+
+func TestMultiResourceParallelism(t *testing.T) {
+	m := NewMultiResource("cpu", 2, 1e9)
+	a, b, c := New(), New(), New()
+	m.Use(a, 1000) // server 0: [0,1000)
+	m.Use(b, 1000) // server 1: [0,1000)
+	if a.Now() != 1000 || b.Now() != 1000 {
+		t.Fatalf("two parallel requests: %d, %d; want 1000, 1000", a.Now(), b.Now())
+	}
+	m.Use(c, 1000) // must queue: [1000,2000)
+	if c.Now() != 2000 {
+		t.Fatalf("third request on 2-server station done at %d, want 2000", c.Now())
+	}
+}
+
+func TestMultiResourcePicksEarliestServer(t *testing.T) {
+	m := NewMultiResource("mc", 2, 1e9)
+	a := New()
+	m.Use(a, 2000) // server0 busy until 2000
+	b := New()
+	m.Use(b, 100) // server1: [0,100)
+	c := NewAt(150)
+	m.Use(c, 100) // server1 free at 100 -> starts 150, done 250
+	if c.Now() != 250 {
+		t.Fatalf("request done at %d, want 250", c.Now())
+	}
+}
+
+func TestMultiResourceResetAndStats(t *testing.T) {
+	m := NewMultiResource("mm", 3, 1e6)
+	if m.Servers() != 3 {
+		t.Fatalf("servers = %d", m.Servers())
+	}
+	clk := New()
+	m.Use(clk, 10)
+	if m.Stats().Requests != 1 {
+		t.Fatal("request not counted")
+	}
+	m.Reset()
+	if m.Stats().Requests != 0 {
+		t.Fatal("reset did not clear stats")
+	}
+}
+
+func TestMultiResourceZeroUnitsAndPanics(t *testing.T) {
+	m := NewMultiResource("m", 1, 1)
+	c := NewAt(7)
+	m.Use(c, 0)
+	if c.Now() != 7 {
+		t.Fatal("zero-unit use advanced clock")
+	}
+	for _, f := range []func(){
+		func() { NewMultiResource("k0", 0, 1) },
+		func() { NewMultiResource("r0", 1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("bad MultiResource args did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestServiceTime(t *testing.T) {
+	r := NewResource("s", 12e9) // 12 GB/s NIC
+	if got := r.ServiceTime(12_000); got != 1000 {
+		t.Fatalf("ServiceTime(12000B @12GB/s) = %d ns, want 1000", got)
+	}
+	if r.Rate() != 12e9 || r.Name() != "s" {
+		t.Fatal("accessors wrong")
+	}
+}

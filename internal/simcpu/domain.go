@@ -1,0 +1,104 @@
+package simcpu
+
+import (
+	"sync"
+
+	"polarcxlmem/internal/simclock"
+)
+
+// Domain models CXL 3.0 hardware cache coherency across hosts: a snoop
+// directory in the switch tracks which host caches which line; a store
+// back-invalidates peer copies, and a load miss is served from a peer's
+// dirty copy (which the hardware writes back first). The paper's software
+// protocol (§3.3) exists precisely because CXL 2.0 switches lack this; the
+// cxl3 projection experiment uses Domain to ask how much of the software
+// protocol's cost the next hardware generation removes.
+//
+// Costs: each back-invalidation and each dirty-peer fetch charges snoopNs
+// to the clock of the operation that triggered it (the coherency traffic
+// rides the same switch the data does).
+type Domain struct {
+	snoopNs int64
+
+	mu     sync.Mutex
+	caches []*Cache
+}
+
+// NewDomain builds a coherency domain; snoopNs is the per-peer
+// back-invalidation / snoop-fetch latency (0 selects the switch-hop
+// default).
+func NewDomain(snoopNs int64) *Domain {
+	if snoopNs == 0 {
+		snoopNs = 250 // one switch hop: flit there, ack back
+	}
+	return &Domain{snoopNs: snoopNs}
+}
+
+// Attach joins c to the domain. A cache belongs to at most one domain;
+// attach before use.
+func (d *Domain) Attach(c *Cache) {
+	d.mu.Lock()
+	d.caches = append(d.caches, c)
+	c.domain = d
+	d.mu.Unlock()
+}
+
+// peers returns every cache in the domain except owner.
+func (d *Domain) peers(owner *Cache) []*Cache {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]*Cache, 0, len(d.caches)-1)
+	for _, c := range d.caches {
+		if c != owner {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// invalidatePeers drops k from every peer cache (back-invalidation on a
+// store). Dirty peer copies cannot exist when the database-level page lock
+// is held correctly, but hardware is defensive: a dirty peer copy is
+// written back first so no update is lost.
+func (d *Domain) invalidatePeers(clk *simclock.Clock, owner *Cache, k lineKey) error {
+	for _, peer := range d.peers(owner) {
+		peer.lock()
+		ln, ok := peer.lines[k]
+		if !ok {
+			peer.unlock()
+			continue
+		}
+		if ln.dirty {
+			if err := peer.writeBack(clk, ln); err != nil {
+				peer.unlock()
+				return err
+			}
+		}
+		peer.lru.Remove(ln.elem)
+		delete(peer.lines, k)
+		peer.unlock()
+		clk.Advance(d.snoopNs)
+	}
+	return nil
+}
+
+// supplyLatest makes the device current for k before a fill: if a peer
+// holds the line dirty, the hardware writes it back (cache-to-cache with
+// memory update) and charges one snoop.
+func (d *Domain) supplyLatest(clk *simclock.Clock, owner *Cache, k lineKey) error {
+	for _, peer := range d.peers(owner) {
+		peer.lock()
+		ln, ok := peer.lines[k]
+		if ok && ln.dirty {
+			err := peer.writeBack(clk, ln)
+			peer.unlock()
+			if err != nil {
+				return err
+			}
+			clk.Advance(d.snoopNs)
+			return nil
+		}
+		peer.unlock()
+	}
+	return nil
+}

@@ -1,0 +1,66 @@
+package simmem
+
+import (
+	"fmt"
+	"sort"
+
+	"polarcxlmem/internal/simclock"
+)
+
+// LatencyTable maps transfer sizes to calibrated latencies with linear
+// interpolation between calibration points and linear extrapolation beyond
+// the last point. The paper's Table 2 gives five calibration points per
+// direction per interconnect; a table echoes them exactly and stays sane in
+// between.
+type LatencyTable struct {
+	sizes []int64 // ascending
+	nanos []int64
+}
+
+// NewLatencyTable builds a table from parallel size/latency slices. It
+// panics on malformed calibration data (empty, unsorted, or mismatched),
+// since calibration constants are compiled in.
+func NewLatencyTable(sizes, nanos []int64) *LatencyTable {
+	if len(sizes) == 0 || len(sizes) != len(nanos) {
+		panic(fmt.Sprintf("simmem: latency table needs matched non-empty slices, got %d/%d", len(sizes), len(nanos)))
+	}
+	if !sort.SliceIsSorted(sizes, func(i, j int) bool { return sizes[i] < sizes[j] }) {
+		panic("simmem: latency table sizes must be strictly ascending")
+	}
+	for i := 1; i < len(sizes); i++ {
+		if sizes[i] == sizes[i-1] {
+			panic("simmem: latency table sizes must be strictly ascending")
+		}
+	}
+	return &LatencyTable{sizes: append([]int64(nil), sizes...), nanos: append([]int64(nil), nanos...)}
+}
+
+// Cost reports the calibrated latency in nanoseconds for a transfer of n
+// bytes. Sizes below the first point scale the first point's per-byte cost;
+// sizes beyond the last extrapolate along the final segment's slope.
+func (t *LatencyTable) Cost(n int64) int64 {
+	if n <= 0 {
+		return 0
+	}
+	if n <= t.sizes[0] {
+		// Fixed overhead dominates small transfers: charge the first point.
+		return t.nanos[0]
+	}
+	last := len(t.sizes) - 1
+	if n >= t.sizes[last] {
+		if last == 0 {
+			return t.nanos[0]
+		}
+		slope := float64(t.nanos[last]-t.nanos[last-1]) / float64(t.sizes[last]-t.sizes[last-1])
+		return t.nanos[last] + int64(slope*float64(n-t.sizes[last]))
+	}
+	i := sort.Search(len(t.sizes), func(i int) bool { return t.sizes[i] >= n })
+	// t.sizes[i-1] < n < t.sizes[i]
+	frac := float64(n-t.sizes[i-1]) / float64(t.sizes[i]-t.sizes[i-1])
+	return t.nanos[i-1] + int64(frac*float64(t.nanos[i]-t.nanos[i-1]))
+}
+
+// Charge advances clk by the calibrated cost of an n-byte transfer.
+func (t *LatencyTable) Charge(clk *simclock.Clock, n int64) {
+	clk.Advance(t.Cost(n))
+}

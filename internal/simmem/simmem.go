@@ -1,0 +1,227 @@
+// Package simmem models raw memory devices for the PolarCXLMem simulator.
+//
+// A Device is a byte-addressable memory (local DRAM, a DDR5 module behind the
+// CXL switch, an RDMA-exposed remote pool) backed by an ordinary byte slice.
+// The slice belongs to the Device object, not to any host object, so memory
+// contents survive a simulated host crash exactly as CXL memory behind an
+// independently-powered switch does in the paper (§3.2).
+//
+// Access goes through bounds-checked Region views. A Region is the unit of
+// multi-tenant isolation: the CXL memory manager hands each database node a
+// Region and no two writable Regions overlap, reproducing the paper's
+// offset-based allocation discipline (§3.1, "CXL Memory allocation").
+//
+// Costed accessors (ReadAt/WriteAt/Load64/Store64) charge a calibrated
+// latency + pipelined-bandwidth cost to the caller's virtual clock and, when
+// the device has a shared bandwidth resource attached, queue on it. Raw
+// accessors exist for substrates (the simulated CPU cache) that implement
+// their own cost accounting on top of the device.
+package simmem
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"polarcxlmem/internal/simclock"
+)
+
+// LineSize is the coherence granularity: one CPU cache line.
+const LineSize = 64
+
+// Profile describes the timing behaviour of a memory device as seen from a
+// host: a fixed per-access latency plus a pipelined streaming rate for the
+// body of a larger access. Calibration constants live with the device
+// packages (internal/cxl, internal/rdma), sourced from the paper's Tables 1-2.
+type Profile struct {
+	Name         string
+	ReadLatency  int64   // ns charged once per read access
+	WriteLatency int64   // ns charged once per write access
+	ReadStream   float64 // bytes per second for a read body; 0 = latency only
+	WriteStream  float64 // bytes per second for a write body; 0 = latency only
+}
+
+// accessCost reports the virtual nanoseconds a single access of n bytes
+// costs under the profile, excluding shared-resource queueing.
+func accessCost(latency int64, stream float64, n int) int64 {
+	c := latency
+	if stream > 0 && n > 0 {
+		c += int64(float64(n) / stream * float64(simclock.Second))
+	}
+	return c
+}
+
+// ReadCost reports the uncontended cost of reading n bytes.
+func (p Profile) ReadCost(n int) int64 { return accessCost(p.ReadLatency, p.ReadStream, n) }
+
+// WriteCost reports the uncontended cost of writing n bytes.
+func (p Profile) WriteCost(n int) int64 { return accessCost(p.WriteLatency, p.WriteStream, n) }
+
+// Device is a raw memory device. A single mutex serializes data access so
+// that concurrent simulated hosts can touch shared CXL memory safely; the
+// timing of concurrent access is governed by the virtual-time resources, not
+// by this lock.
+type Device struct {
+	name string
+	mu   sync.RWMutex
+	data []byte
+	prof Profile
+	bw   *simclock.Resource // optional shared bandwidth; may be nil
+}
+
+// NewDevice allocates a device of size bytes with the given timing profile.
+// bw, if non-nil, is a shared bandwidth resource every costed access queues
+// on (e.g., the per-host CXL link). It panics on non-positive size, because a
+// memory device without capacity is always a configuration bug.
+func NewDevice(name string, size int64, prof Profile, bw *simclock.Resource) *Device {
+	if size <= 0 {
+		panic(fmt.Sprintf("simmem: device %q must have positive size, got %d", name, size))
+	}
+	return &Device{name: name, data: make([]byte, size), prof: prof, bw: bw}
+}
+
+// Name reports the device name.
+func (d *Device) Name() string { return d.name }
+
+// Size reports the device capacity in bytes.
+func (d *Device) Size() int64 { return int64(len(d.data)) }
+
+// Profile reports the device timing profile.
+func (d *Device) Profile() Profile { return d.prof }
+
+// Region returns a bounds-checked view of [off, off+size).
+func (d *Device) Region(off, size int64) (*Region, error) {
+	if off < 0 || size < 0 || off+size > int64(len(d.data)) {
+		return nil, fmt.Errorf("simmem: region [%d,%d) out of device %q bounds [0,%d)", off, off+size, d.name, len(d.data))
+	}
+	return &Region{dev: d, off: off, size: size}, nil
+}
+
+// WholeRegion returns a view of the entire device.
+func (d *Device) WholeRegion() *Region {
+	return &Region{dev: d, off: 0, size: int64(len(d.data))}
+}
+
+// Region is a bounds-checked window onto a Device. Offsets passed to Region
+// methods are relative to the region start.
+type Region struct {
+	dev       *Device
+	off, size int64
+}
+
+// Size reports the region length in bytes.
+func (r *Region) Size() int64 { return r.size }
+
+// Base reports the region's absolute offset within its device. The CXL
+// memory manager uses this to hand out device-global addresses.
+func (r *Region) Base() int64 { return r.off }
+
+// Device reports the underlying device.
+func (r *Region) Device() *Device { return r.dev }
+
+// SubRegion returns a narrower view of [off, off+size) within r.
+func (r *Region) SubRegion(off, size int64) (*Region, error) {
+	if off < 0 || size < 0 || off+size > r.size {
+		return nil, fmt.Errorf("simmem: subregion [%d,%d) out of region bounds [0,%d)", off, off+size, r.size)
+	}
+	return &Region{dev: r.dev, off: r.off + off, size: size}, nil
+}
+
+func (r *Region) check(off int64, n int) error {
+	if off < 0 || int64(n) < 0 || off+int64(n) > r.size {
+		return fmt.Errorf("simmem: access [%d,%d) out of region bounds [0,%d) on %q", off, off+int64(n), r.size, r.dev.name)
+	}
+	return nil
+}
+
+// ReadRaw copies region bytes into buf without charging any cost. It is for
+// substrates (the CPU cache) that do their own accounting.
+func (r *Region) ReadRaw(off int64, buf []byte) error {
+	if err := r.check(off, len(buf)); err != nil {
+		return err
+	}
+	r.dev.mu.RLock()
+	copy(buf, r.dev.data[r.off+off:])
+	r.dev.mu.RUnlock()
+	return nil
+}
+
+// WriteRaw copies data into the region without charging any cost.
+func (r *Region) WriteRaw(off int64, data []byte) error {
+	if err := r.check(off, len(data)); err != nil {
+		return err
+	}
+	r.dev.mu.Lock()
+	copy(r.dev.data[r.off+off:], data)
+	r.dev.mu.Unlock()
+	return nil
+}
+
+// charge applies the device cost for an access of n bytes to clk and queues
+// on the shared bandwidth resource when one is attached.
+func (r *Region) charge(clk *simclock.Clock, cost int64, n int) {
+	clk.Advance(cost)
+	if r.dev.bw != nil && n > 0 {
+		r.dev.bw.Use(clk, int64(n))
+	}
+}
+
+// ReadAt reads len(buf) bytes at off, charging the device read cost to clk.
+func (r *Region) ReadAt(clk *simclock.Clock, off int64, buf []byte) error {
+	if err := r.ReadRaw(off, buf); err != nil {
+		return err
+	}
+	r.charge(clk, r.dev.prof.ReadCost(len(buf)), len(buf))
+	return nil
+}
+
+// WriteAt writes data at off, charging the device write cost to clk.
+func (r *Region) WriteAt(clk *simclock.Clock, off int64, data []byte) error {
+	if err := r.WriteRaw(off, data); err != nil {
+		return err
+	}
+	r.charge(clk, r.dev.prof.WriteCost(len(data)), len(data))
+	return nil
+}
+
+// Load64 reads a little-endian uint64 flag word at off with a single-line
+// access cost. The paper's coherency protocol reads invalid/removal flags
+// this way (§3.3).
+func (r *Region) Load64(clk *simclock.Clock, off int64) (uint64, error) {
+	var b [8]byte
+	if err := r.ReadRaw(off, b[:]); err != nil {
+		return 0, err
+	}
+	r.charge(clk, r.dev.prof.ReadCost(8), 8)
+	return binary.LittleEndian.Uint64(b[:]), nil
+}
+
+// Store64 writes a little-endian uint64 flag word at off with a single-line
+// access cost — the "single memory store operation on CXL memory" the paper
+// says completes within a few hundred nanoseconds (§3.3).
+func (r *Region) Store64(clk *simclock.Clock, off int64, v uint64) error {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	if err := r.WriteRaw(off, b[:]); err != nil {
+		return err
+	}
+	r.charge(clk, r.dev.prof.WriteCost(8), 8)
+	return nil
+}
+
+// Load64Raw reads a flag word without cost (crash-recovery scans that are
+// costed in bulk by the caller).
+func (r *Region) Load64Raw(off int64) (uint64, error) {
+	var b [8]byte
+	if err := r.ReadRaw(off, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b[:]), nil
+}
+
+// Store64Raw writes a flag word without cost.
+func (r *Region) Store64Raw(off int64, v uint64) error {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	return r.WriteRaw(off, b[:])
+}

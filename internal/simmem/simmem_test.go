@@ -1,0 +1,234 @@
+package simmem
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"polarcxlmem/internal/simclock"
+)
+
+var testProf = Profile{Name: "test", ReadLatency: 100, WriteLatency: 150, ReadStream: 1e9, WriteStream: 1e9}
+
+func TestDeviceBasics(t *testing.T) {
+	d := NewDevice("dram", 4096, testProf, nil)
+	if d.Size() != 4096 || d.Name() != "dram" {
+		t.Fatalf("size=%d name=%q", d.Size(), d.Name())
+	}
+	if d.Profile().ReadLatency != 100 {
+		t.Fatal("profile not stored")
+	}
+}
+
+func TestDevicePanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewDevice(size=0) did not panic")
+		}
+	}()
+	NewDevice("bad", 0, testProf, nil)
+}
+
+func TestRegionBounds(t *testing.T) {
+	d := NewDevice("d", 1024, testProf, nil)
+	if _, err := d.Region(512, 1024); err == nil {
+		t.Fatal("overflowing region accepted")
+	}
+	if _, err := d.Region(-1, 10); err == nil {
+		t.Fatal("negative offset accepted")
+	}
+	r, err := d.Region(256, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Size() != 512 || r.Base() != 256 {
+		t.Fatalf("size=%d base=%d", r.Size(), r.Base())
+	}
+	if err := r.WriteRaw(500, make([]byte, 20)); err == nil {
+		t.Fatal("write past region end accepted")
+	}
+	if err := r.ReadRaw(-1, make([]byte, 1)); err == nil {
+		t.Fatal("negative read offset accepted")
+	}
+}
+
+func TestRegionIsolation(t *testing.T) {
+	// Two disjoint regions must not observe each other's writes, and a write
+	// through one region lands at the right absolute device offset.
+	d := NewDevice("cxl", 1024, testProf, nil)
+	a, _ := d.Region(0, 512)
+	b, _ := d.Region(512, 512)
+	if err := a.WriteRaw(0, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 5)
+	if err := b.ReadRaw(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(buf, []byte("hello")) {
+		t.Fatal("disjoint region observed neighbour's write")
+	}
+	whole := d.WholeRegion()
+	if err := whole.ReadRaw(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, []byte("hello")) {
+		t.Fatalf("device offset 0 = %q, want hello", buf)
+	}
+}
+
+func TestSubRegion(t *testing.T) {
+	d := NewDevice("d", 1024, testProf, nil)
+	r, _ := d.Region(100, 800)
+	s, err := r.SubRegion(50, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Base() != 150 {
+		t.Fatalf("subregion base %d, want 150", s.Base())
+	}
+	if _, err := r.SubRegion(700, 200); err == nil {
+		t.Fatal("overflowing subregion accepted")
+	}
+	if err := s.WriteRaw(0, []byte{0xAB}); err != nil {
+		t.Fatal(err)
+	}
+	var b [1]byte
+	if err := d.WholeRegion().ReadRaw(150, b[:]); err != nil {
+		t.Fatal(err)
+	}
+	if b[0] != 0xAB {
+		t.Fatal("subregion write landed at wrong device offset")
+	}
+}
+
+func TestCostedReadWriteChargesClock(t *testing.T) {
+	d := NewDevice("d", 4096, testProf, nil)
+	r := d.WholeRegion()
+	clk := simclock.New()
+	data := make([]byte, 1000)
+	if err := r.WriteAt(clk, 0, data); err != nil {
+		t.Fatal(err)
+	}
+	// write: 150 ns latency + 1000 B at 1 GB/s = 1000 ns -> 1150.
+	if clk.Now() != 1150 {
+		t.Fatalf("write cost %d ns, want 1150", clk.Now())
+	}
+	if err := r.ReadAt(clk, 0, data); err != nil {
+		t.Fatal(err)
+	}
+	if clk.Now() != 1150+1100 {
+		t.Fatalf("after read clock %d, want 2250", clk.Now())
+	}
+}
+
+func TestCostedAccessQueuesOnBandwidth(t *testing.T) {
+	bw := simclock.NewResource("link", 1e9)
+	d := NewDevice("d", 4096, Profile{ReadLatency: 0, WriteLatency: 0}, bw)
+	r := d.WholeRegion()
+	a, b := simclock.New(), simclock.New()
+	if err := r.WriteAt(a, 0, make([]byte, 1000)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteAt(b, 0, make([]byte, 1000)); err != nil {
+		t.Fatal(err)
+	}
+	if b.Now() != 2000 {
+		t.Fatalf("second writer finished at %d, want 2000 (queued)", b.Now())
+	}
+}
+
+func TestLoadStore64(t *testing.T) {
+	d := NewDevice("d", 128, testProf, nil)
+	r := d.WholeRegion()
+	clk := simclock.New()
+	if err := r.Store64(clk, 8, 0xDEADBEEF); err != nil {
+		t.Fatal(err)
+	}
+	v, err := r.Load64(clk, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0xDEADBEEF {
+		t.Fatalf("load64 = %#x", v)
+	}
+	if clk.Now() == 0 {
+		t.Fatal("flag-word access charged nothing")
+	}
+	// Raw variants: no cost.
+	before := clk.Now()
+	if err := r.Store64Raw(16, 7); err != nil {
+		t.Fatal(err)
+	}
+	v2, err := r.Load64Raw(16)
+	if err != nil || v2 != 7 {
+		t.Fatalf("raw roundtrip = %d, %v", v2, err)
+	}
+	if clk.Now() != before {
+		t.Fatal("raw access charged the clock")
+	}
+	if _, err := r.Load64(clk, 124); err == nil {
+		t.Fatal("load64 past end accepted")
+	}
+}
+
+func TestProfileCosts(t *testing.T) {
+	p := Profile{ReadLatency: 549, WriteLatency: 549, ReadStream: 10e9, WriteStream: 10e9}
+	if got := p.ReadCost(0); got != 549 {
+		t.Fatalf("ReadCost(0) = %d", got)
+	}
+	// 10000 bytes at 10 GB/s = 1000 ns.
+	if got := p.WriteCost(10000); got != 1549 {
+		t.Fatalf("WriteCost(10000) = %d", got)
+	}
+	lat := Profile{ReadLatency: 100}
+	if got := lat.ReadCost(1 << 20); got != 100 {
+		t.Fatalf("latency-only profile charged %d for 1MB", got)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	// Property: any write within bounds reads back identically.
+	d := NewDevice("p", 1<<16, testProf, nil)
+	r := d.WholeRegion()
+	f := func(off uint16, data []byte) bool {
+		o := int64(off)
+		if o+int64(len(data)) > r.Size() {
+			o = r.Size() - int64(len(data))
+			if o < 0 {
+				return true // larger than device; skip
+			}
+		}
+		if err := r.WriteRaw(o, data); err != nil {
+			return false
+		}
+		got := make([]byte, len(data))
+		if err := r.ReadRaw(o, got); err != nil {
+			return false
+		}
+		return bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDataSurvivesRegionDrop(t *testing.T) {
+	// The crash-survival property: contents belong to the device, not to the
+	// view a host held.
+	d := NewDevice("cxlbox", 256, testProf, nil)
+	{
+		host, _ := d.Region(64, 64)
+		if err := host.WriteRaw(0, []byte("durable")); err != nil {
+			t.Fatal(err)
+		}
+	} // host view dropped: simulated crash
+	fresh, _ := d.Region(64, 64)
+	buf := make([]byte, 7)
+	if err := fresh.ReadRaw(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "durable" {
+		t.Fatalf("post-crash contents %q", buf)
+	}
+}

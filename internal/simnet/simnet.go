@@ -1,0 +1,92 @@
+// Package simnet provides a synchronous RPC fabric between simulated hosts.
+//
+// PolarCXLMem uses RPC sparingly — CXL memory allocation at startup, page
+// address lookups against the buffer-fusion server — while the RDMA-MP
+// baseline additionally sends invalidation messages over the network. The
+// fabric charges a calibrated round-trip latency (plus optional per-byte
+// bandwidth) to the caller's virtual clock and runs the handler inline, so
+// server-side work done during the call (lock-table updates, CXL flag
+// stores) is charged to the same logical timeline, exactly as a blocking RPC
+// behaves.
+package simnet
+
+import (
+	"fmt"
+	"sync"
+
+	"polarcxlmem/internal/simclock"
+)
+
+// Handler serves one RPC method. It runs on the caller's virtual clock.
+type Handler func(clk *simclock.Clock, req any) (any, error)
+
+// Fabric is a named-endpoint RPC network. Safe for concurrent use.
+type Fabric struct {
+	rtt int64              // round-trip latency charged per call, ns
+	bw  *simclock.Resource // optional per-byte resource (nil = latency only)
+
+	mu        sync.RWMutex
+	endpoints map[string]map[string]Handler // endpoint -> method -> handler
+	calls     int64
+}
+
+// New returns a fabric whose calls cost rttNanos round-trip latency. bw, if
+// non-nil, is charged reqBytes per call (invalidation fan-out, page pushes
+// accounted separately by callers that move bulk data).
+func New(rttNanos int64, bw *simclock.Resource) *Fabric {
+	return &Fabric{rtt: rttNanos, bw: bw, endpoints: make(map[string]map[string]Handler)}
+}
+
+// RTT reports the configured round-trip latency.
+func (f *Fabric) RTT() int64 { return f.rtt }
+
+// Register installs handler for method on endpoint, creating the endpoint
+// if needed. Re-registering a method replaces the previous handler.
+func (f *Fabric) Register(endpoint, method string, handler Handler) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	ep, ok := f.endpoints[endpoint]
+	if !ok {
+		ep = make(map[string]Handler)
+		f.endpoints[endpoint] = ep
+	}
+	ep[method] = handler
+}
+
+// Deregister removes an endpoint entirely — the simulated process died.
+// Subsequent calls to it fail, as they would against a crashed server.
+func (f *Fabric) Deregister(endpoint string) {
+	f.mu.Lock()
+	delete(f.endpoints, endpoint)
+	f.mu.Unlock()
+}
+
+// Call invokes method on endpoint, charging the fabric RTT (and reqBytes on
+// the bandwidth resource, when attached) to clk before the handler runs.
+func (f *Fabric) Call(clk *simclock.Clock, endpoint, method string, reqBytes int64, req any) (any, error) {
+	f.mu.RLock()
+	ep, ok := f.endpoints[endpoint]
+	var h Handler
+	if ok {
+		h = ep[method]
+	}
+	f.mu.RUnlock()
+	if h == nil {
+		return nil, fmt.Errorf("simnet: no handler for %s.%s", endpoint, method)
+	}
+	f.mu.Lock()
+	f.calls++
+	f.mu.Unlock()
+	clk.Advance(f.rtt)
+	if f.bw != nil && reqBytes > 0 {
+		f.bw.Use(clk, reqBytes)
+	}
+	return h(clk, req)
+}
+
+// Calls reports the number of completed Call invocations.
+func (f *Fabric) Calls() int64 {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.calls
+}

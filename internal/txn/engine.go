@@ -1,0 +1,180 @@
+// Package txn implements the transaction engine: user transactions over
+// B+tree tables, a durable catalog, commit/rollback with logical undo, and
+// checkpointing. It is the layer the workload generators drive, and it runs
+// unchanged over every buffer pool — local DRAM, tiered RDMA, PolarCXLMem —
+// which is the paper's deployment story: "This design minimally impacts the
+// transaction engine, requiring only a few modifications during memory
+// allocation" (§3.1).
+package txn
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync"
+
+	"polarcxlmem/internal/btree"
+	"polarcxlmem/internal/buffer"
+	"polarcxlmem/internal/mtr"
+	"polarcxlmem/internal/simclock"
+	"polarcxlmem/internal/storage"
+	"polarcxlmem/internal/wal"
+)
+
+// CatalogMetaID is the catalog tree's meta page id. The catalog is the
+// first tree created on a fresh database, and page ids are allocated
+// sequentially from 1, so this is a stable bootstrap address.
+const CatalogMetaID = 1
+
+// Engine is one database instance's transaction engine.
+type Engine struct {
+	pool  buffer.Pool
+	log   *wal.Log
+	store *storage.Store
+	ids   *mtr.IDGen
+
+	catalog *btree.Tree
+
+	mu     sync.Mutex
+	tables map[string]*btree.Tree
+}
+
+// nameKey hashes a table name to a catalog key.
+func nameKey(name string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return int64(h.Sum64() & (1<<63 - 1))
+}
+
+// wireBarrier installs the write-ahead rule: before any page image reaches
+// storage, the log is durable up to that page's LSN.
+func (e *Engine) wireBarrier() {
+	e.pool.SetFlushBarrier(func(clk *simclock.Clock, lsn uint64) {
+		if lsn > e.log.Store().DurableLSN() {
+			e.log.Flush(clk)
+		}
+	})
+}
+
+// Bootstrap creates a fresh database on an empty pool: the catalog tree and
+// nothing else.
+func Bootstrap(clk *simclock.Clock, pool buffer.Pool, log *wal.Log, store *storage.Store) (*Engine, error) {
+	e := &Engine{pool: pool, log: log, store: store, ids: &mtr.IDGen{}, tables: make(map[string]*btree.Tree)}
+	e.wireBarrier()
+	cat, err := btree.Create(clk, pool, log, e.ids)
+	if err != nil {
+		return nil, err
+	}
+	if cat.MetaID() != CatalogMetaID {
+		return nil, fmt.Errorf("txn: catalog meta page is %d, want %d (pool not fresh?)", cat.MetaID(), CatalogMetaID)
+	}
+	e.catalog = cat
+	return e, nil
+}
+
+// Attach opens an existing database over a warm or recovered pool.
+func Attach(clk *simclock.Clock, pool buffer.Pool, log *wal.Log, store *storage.Store) (*Engine, error) {
+	e := &Engine{pool: pool, log: log, store: store, ids: &mtr.IDGen{}, tables: make(map[string]*btree.Tree)}
+	e.wireBarrier()
+	cat, err := btree.Open(clk, pool, log, e.ids, CatalogMetaID)
+	if err != nil {
+		return nil, err
+	}
+	e.catalog = cat
+	// Unit ids restart above anything in the durable log so compensation
+	// units never collide with logged ones.
+	var maxUnit uint64
+	log.Store().Iterate(1, func(r wal.Record) bool {
+		if r.Txn > maxUnit {
+			maxUnit = r.Txn
+		}
+		return true
+	})
+	e.ids.Bump(maxUnit)
+	return e, nil
+}
+
+// IDs exposes the unit-id generator (recovery logs compensation units).
+func (e *Engine) IDs() *mtr.IDGen { return e.ids }
+
+// Pool exposes the engine's buffer pool.
+func (e *Engine) Pool() buffer.Pool { return e.pool }
+
+// Log exposes the engine's redo log handle.
+func (e *Engine) Log() *wal.Log { return e.log }
+
+// CreateTable creates a named table and registers it in the catalog,
+// durably.
+func (e *Engine) CreateTable(clk *simclock.Clock, name string) (*btree.Tree, error) {
+	e.mu.Lock()
+	if _, ok := e.tables[name]; ok {
+		e.mu.Unlock()
+		return nil, fmt.Errorf("txn: table %q exists", name)
+	}
+	e.mu.Unlock()
+	tr, err := btree.Create(clk, e.pool, e.log, e.ids)
+	if err != nil {
+		return nil, err
+	}
+	var idb [8]byte
+	for i := 0; i < 8; i++ {
+		idb[i] = byte(tr.MetaID() >> (8 * i))
+	}
+	unit := e.ids.Next()
+	if err := e.catalog.Insert(clk, unit, nameKey(name), idb[:]); err != nil {
+		return nil, err
+	}
+	e.log.Append(wal.Record{Kind: wal.KTxnCommit, Txn: unit})
+	e.log.Flush(clk)
+	e.mu.Lock()
+	e.tables[name] = tr
+	e.mu.Unlock()
+	return tr, nil
+}
+
+// Table opens a named table from the catalog (cached).
+func (e *Engine) Table(clk *simclock.Clock, name string) (*btree.Tree, error) {
+	e.mu.Lock()
+	if tr, ok := e.tables[name]; ok {
+		e.mu.Unlock()
+		return tr, nil
+	}
+	e.mu.Unlock()
+	v, err := e.catalog.Get(clk, nameKey(name))
+	if err != nil {
+		return nil, fmt.Errorf("txn: table %q: %w", name, err)
+	}
+	var metaID uint64
+	for i := 0; i < 8; i++ {
+		metaID |= uint64(v[i]) << (8 * i)
+	}
+	tr, err := btree.Open(clk, e.pool, e.log, e.ids, metaID)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	e.tables[name] = tr
+	e.mu.Unlock()
+	return tr, nil
+}
+
+// Checkpoint forces the log, flushes every dirty page, durably records the
+// checkpoint LSN, and truncates the log below the PREVIOUS checkpoint.
+// Call at quiescent points (no in-flight transactions): truncation assumes
+// no undo older than a full checkpoint interval is ever needed, and
+// recovery scans start at the latest checkpoint anyway. Keeping one full
+// interval of history (rather than truncating to the new checkpoint)
+// guards the edge where a crash lands exactly between SetCheckpoint and
+// the first post-checkpoint flush.
+func (e *Engine) Checkpoint(clk *simclock.Clock) error {
+	prev := e.log.Store().CheckpointLSN()
+	lsn := e.log.NextLSN() - 1
+	e.log.Flush(clk)
+	if err := e.pool.FlushAll(clk); err != nil {
+		return err
+	}
+	e.log.Store().SetCheckpoint(clk, lsn)
+	if prev > 0 {
+		e.log.Store().TruncateBefore(prev)
+	}
+	return nil
+}

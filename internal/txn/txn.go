@@ -1,0 +1,122 @@
+package txn
+
+import (
+	"fmt"
+
+	"polarcxlmem/internal/btree"
+	"polarcxlmem/internal/simclock"
+	"polarcxlmem/internal/wal"
+)
+
+// Txn is one user transaction. Statements execute immediately through
+// mini-transactions; the transaction's durability is decided by the
+// KTxnCommit marker appended (and flushed) at Commit. Rollback applies the
+// logical inverses in reverse order — correct even if SMOs have since moved
+// the records — and then marks the unit committed so crash recovery never
+// re-undoes it.
+type Txn struct {
+	e    *Engine
+	clk  *simclock.Clock
+	id   uint64
+	undo []btree.Undo
+	done bool
+}
+
+// Begin starts a transaction on clk's worker.
+func (e *Engine) Begin(clk *simclock.Clock) *Txn {
+	return &Txn{e: e, clk: clk, id: e.ids.Next()}
+}
+
+// ID reports the transaction id.
+func (t *Txn) ID() uint64 { return t.id }
+
+func (t *Txn) active() error {
+	if t.done {
+		return fmt.Errorf("txn %d: already finished", t.id)
+	}
+	return nil
+}
+
+// Insert adds (key, val) to tr.
+func (t *Txn) Insert(tr *btree.Tree, key int64, val []byte) error {
+	if err := t.active(); err != nil {
+		return err
+	}
+	if err := tr.Insert(t.clk, t.id, key, val); err != nil {
+		return err
+	}
+	t.undo = append(t.undo, btree.Undo{Tree: tr, Kind: wal.KInsert, Key: key})
+	return nil
+}
+
+// Update replaces key's value in tr.
+func (t *Txn) Update(tr *btree.Tree, key int64, val []byte) error {
+	if err := t.active(); err != nil {
+		return err
+	}
+	old, err := tr.UpdateReturningOld(t.clk, t.id, key, val)
+	if err != nil {
+		return err
+	}
+	t.undo = append(t.undo, btree.Undo{Tree: tr, Kind: wal.KUpdate, Key: key, Old: old})
+	return nil
+}
+
+// Delete removes key from tr.
+func (t *Txn) Delete(tr *btree.Tree, key int64) error {
+	if err := t.active(); err != nil {
+		return err
+	}
+	old, err := tr.DeleteReturningOld(t.clk, t.id, key)
+	if err != nil {
+		return err
+	}
+	t.undo = append(t.undo, btree.Undo{Tree: tr, Kind: wal.KDelete, Key: key, Old: old})
+	return nil
+}
+
+// Get reads key from tr (no locks held across statements: the engine's
+// workloads are single-statement-consistent, as in sysbench).
+func (t *Txn) Get(tr *btree.Tree, key int64) ([]byte, error) {
+	if err := t.active(); err != nil {
+		return nil, err
+	}
+	return tr.Get(t.clk, key)
+}
+
+// Scan reads up to limit records with key >= from.
+func (t *Txn) Scan(tr *btree.Tree, from int64, limit int) ([]btree.KV, error) {
+	if err := t.active(); err != nil {
+		return nil, err
+	}
+	return tr.Scan(t.clk, from, limit)
+}
+
+// Commit appends the durable commit marker and forces the log (group
+// commit).
+func (t *Txn) Commit() error {
+	if err := t.active(); err != nil {
+		return err
+	}
+	t.done = true
+	t.e.log.Append(wal.Record{Kind: wal.KTxnCommit, Txn: t.id})
+	t.e.log.Flush(t.clk)
+	return nil
+}
+
+// Rollback undoes every statement in reverse order via logical compensation
+// and then commits the unit (net effect: nothing happened, durably).
+func (t *Txn) Rollback() error {
+	if err := t.active(); err != nil {
+		return err
+	}
+	t.done = true
+	for i := len(t.undo) - 1; i >= 0; i-- {
+		if err := t.undo[i].Apply(t.clk, t.id); err != nil {
+			return fmt.Errorf("txn %d: undo step %d: %w", t.id, i, err)
+		}
+	}
+	t.e.log.Append(wal.Record{Kind: wal.KTxnCommit, Txn: t.id})
+	t.e.log.Flush(t.clk)
+	return nil
+}

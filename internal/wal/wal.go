@@ -1,0 +1,250 @@
+// Package wal implements the ARIES-style redo log.
+//
+// The split mirrors the paper's crash model (§3.2): Log is the host-side
+// handle with an in-DRAM record buffer — lost on a crash, which is why
+// PolarRecv must treat pages whose LSN exceeds the durable LSN as "too new"
+// and rebuild them — while Store is the durable tail on shared storage,
+// which survives. Transactions append redo records as they modify pages;
+// commit (and mini-transaction commit, for B-tree SMOs) forces a group
+// flush of the buffer to the Store.
+package wal
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"polarcxlmem/internal/simclock"
+)
+
+// Kind enumerates redo record types.
+type Kind uint8
+
+// Redo record kinds. Page-level records are logical redo: applying one
+// replays the page operation. Control records mark transaction boundaries
+// and checkpoints.
+const (
+	KInsert Kind = iota + 1
+	KUpdate
+	KDelete
+	KPageInit
+	KSetRightSib
+	KSetAux
+	KTxnCommit
+	KMTRCommit
+	KCheckpoint
+)
+
+// String implements fmt.Stringer for log diagnostics.
+func (k Kind) String() string {
+	switch k {
+	case KInsert:
+		return "insert"
+	case KUpdate:
+		return "update"
+	case KDelete:
+		return "delete"
+	case KPageInit:
+		return "page-init"
+	case KSetRightSib:
+		return "set-right-sib"
+	case KSetAux:
+		return "set-aux"
+	case KTxnCommit:
+		return "txn-commit"
+	case KMTRCommit:
+		return "mtr-commit"
+	case KCheckpoint:
+		return "checkpoint"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Record is one redo log record.
+type Record struct {
+	LSN   uint64
+	Page  uint64 // target page id (0 for control records)
+	Txn   uint64 // owning transaction / mini-transaction id
+	Kind  Kind
+	Key   int64
+	Level uint16 // KPageInit: btree level
+	PType uint16 // KPageInit: page type
+	Ref   uint64 // KSetRightSib/KSetAux: the stored id/word
+	Value []byte // KInsert/KUpdate: record payload
+	Old   []byte // KUpdate/KDelete: before-image, for transaction undo
+}
+
+// EncodedSize reports the on-disk size used for bandwidth accounting.
+func (r Record) EncodedSize() int64 {
+	return 8 + 8 + 8 + 1 + 8 + 2 + 2 + 8 + 4 + int64(len(r.Value)) + 4 + int64(len(r.Old))
+}
+
+// Store is the durable log tail. It lives on shared storage and survives
+// host crashes.
+type Store struct {
+	bw    *simclock.Resource
+	fsync int64
+
+	mu            sync.Mutex
+	records       []Record // ascending LSN
+	durableLSN    uint64
+	checkpointLSN uint64
+}
+
+// Default log-device parameters: a PolarFS-class replicated log store.
+const (
+	DefaultLogBandwidth = 2e9    // bytes per second
+	DefaultFsyncNanos   = 25_000 // per group-commit flush
+)
+
+// NewStore returns an empty durable log store. Zero arguments select the
+// defaults.
+func NewStore(bandwidth float64, fsyncNanos int64) *Store {
+	if bandwidth == 0 {
+		bandwidth = DefaultLogBandwidth
+	}
+	if fsyncNanos == 0 {
+		fsyncNanos = DefaultFsyncNanos
+	}
+	return &Store{bw: simclock.NewResource("wal-dev", bandwidth), fsync: fsyncNanos}
+}
+
+// persist appends recs (ascending LSN) durably, charging clk.
+func (s *Store) persist(clk *simclock.Clock, recs []Record) {
+	if len(recs) == 0 {
+		return
+	}
+	var bytes int64
+	for _, r := range recs {
+		bytes += r.EncodedSize()
+	}
+	clk.Advance(s.fsync)
+	s.bw.Use(clk, bytes)
+	s.mu.Lock()
+	s.records = append(s.records, recs...)
+	if last := recs[len(recs)-1].LSN; last > s.durableLSN {
+		s.durableLSN = last
+	}
+	s.mu.Unlock()
+}
+
+// DurableLSN reports the highest LSN persisted. Records above it were in a
+// DRAM buffer and are gone after a crash.
+func (s *Store) DurableLSN() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.durableLSN
+}
+
+// CheckpointLSN reports the last recorded checkpoint LSN; recovery scans
+// from here.
+func (s *Store) CheckpointLSN() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.checkpointLSN
+}
+
+// SetCheckpoint durably records a checkpoint at lsn.
+func (s *Store) SetCheckpoint(clk *simclock.Clock, lsn uint64) {
+	clk.Advance(s.fsync)
+	s.mu.Lock()
+	if lsn > s.checkpointLSN {
+		s.checkpointLSN = lsn
+	}
+	s.mu.Unlock()
+}
+
+// Iterate calls fn for every durable record with LSN >= from, in LSN order,
+// stopping early if fn returns false. The caller charges scan I/O costs.
+func (s *Store) Iterate(from uint64, fn func(Record) bool) {
+	s.mu.Lock()
+	recs := s.records
+	s.mu.Unlock()
+	i := sort.Search(len(recs), func(i int) bool { return recs[i].LSN >= from })
+	for ; i < len(recs); i++ {
+		if !fn(recs[i]) {
+			return
+		}
+	}
+}
+
+// BytesFrom reports the encoded size of all durable records with LSN >= from
+// (recovery charges this as sequential log-read I/O).
+func (s *Store) BytesFrom(from uint64) int64 {
+	var n int64
+	s.Iterate(from, func(r Record) bool {
+		n += r.EncodedSize()
+		return true
+	})
+	return n
+}
+
+// TruncateBefore discards records below lsn (checkpoint garbage collection).
+func (s *Store) TruncateBefore(lsn uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	i := sort.Search(len(s.records), func(i int) bool { return s.records[i].LSN >= lsn })
+	s.records = append([]Record(nil), s.records[i:]...)
+}
+
+// Device exposes the log bandwidth resource for stats.
+func (s *Store) Device() *simclock.Resource { return s.bw }
+
+// Log is the host-side redo log handle: an in-DRAM buffer of records not
+// yet flushed. Dropping the Log without Flush models losing the redo buffer
+// in a crash.
+type Log struct {
+	store *Store
+
+	mu      sync.Mutex
+	buf     []Record
+	nextLSN uint64
+}
+
+// Attach opens a Log over store, continuing the LSN sequence after the
+// durable tail (the restart path).
+func Attach(store *Store) *Log {
+	return &Log{store: store, nextLSN: store.DurableLSN() + 1}
+}
+
+// Append buffers rec, assigns it the next LSN, and returns that LSN. No I/O
+// happens until Flush.
+func (l *Log) Append(rec Record) uint64 {
+	l.mu.Lock()
+	rec.LSN = l.nextLSN
+	l.nextLSN++
+	l.buf = append(l.buf, rec)
+	l.mu.Unlock()
+	return rec.LSN
+}
+
+// NextLSN reports the LSN the next Append will receive.
+func (l *Log) NextLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextLSN
+}
+
+// BufferedBytes reports the encoded size of unflushed records.
+func (l *Log) BufferedBytes() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var n int64
+	for _, r := range l.buf {
+		n += r.EncodedSize()
+	}
+	return n
+}
+
+// Flush group-commits every buffered record to the durable store, charging
+// clk for the write.
+func (l *Log) Flush(clk *simclock.Clock) {
+	l.mu.Lock()
+	recs := l.buf
+	l.buf = nil
+	l.mu.Unlock()
+	l.store.persist(clk, recs)
+}
+
+// Store exposes the durable store (recovery needs it after the Log died).
+func (l *Log) Store() *Store { return l.store }

@@ -1,0 +1,41 @@
+// Package workload implements the paper's three benchmarks — Sysbench
+// (§4.2, §4.4), TPC-C and TATP (§4.4, Table 3) — in two forms:
+//
+//   - engine workloads (sysbench.go) drive a single-node transaction engine
+//     through the full SQL-less statement pipeline: B+tree access through
+//     whatever buffer pool the experiment wires in, redo logging, commits;
+//   - sharing workloads (shared.go, tpcc.go, tatp.go) drive multi-primary
+//     nodes through the record-level sharing protocol, with the paper's
+//     N+1-group layout controlling the shared-data percentage.
+//
+// Per-statement CPU costs model the parse/optimizer/protocol work a real
+// PolarDB instance spends per query; they are calibrated so that a 16-vCPU
+// instance's uncontended throughput lands near the paper's single-instance
+// numbers (≈300 K point-select QPS, ≈90 K range QPS, fig. 7-9), leaving the
+// *differences* between memory designs to the measured substrate costs.
+package workload
+
+import "polarcxlmem/internal/simclock"
+
+// Per-statement CPU service demands (ns). One statement consumes one vCPU
+// for this long, in addition to the buffer/interconnect costs its data
+// access actually incurs.
+const (
+	PointSelectCPU = 45_000
+	RangeSelectCPU = 150_000 // 100-row scan: more executor + result marshalling
+	UpdateCPU      = 48_000
+	InsertCPU      = 52_000
+	DeleteCPU      = 48_000
+	BeginCommitCPU = 12_000 // transaction bookkeeping around the log force
+)
+
+// RangeLen is the sysbench range-query row count.
+const RangeLen = 100
+
+// chargeCPU advances the worker clock by a statement's CPU demand and
+// returns the same amount so callers can accumulate a CPU-demand total for
+// the performance model.
+func chargeCPU(clk *simclock.Clock, ns int64) int64 {
+	clk.Advance(ns)
+	return ns
+}

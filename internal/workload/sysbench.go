@@ -1,0 +1,234 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"polarcxlmem/internal/btree"
+	"polarcxlmem/internal/simclock"
+	"polarcxlmem/internal/txn"
+)
+
+// RowSize is the sysbench sbtest row payload: k (8 B int) + c (120 B) +
+// pad (60 B).
+const RowSize = 188
+
+// Sysbench drives a transaction engine with the standard oltp_* workloads.
+type Sysbench struct {
+	eng    *txn.Engine
+	tables []*btree.Tree
+	rows   int64
+
+	// Stats accumulate across ops.
+	Queries int64
+	Txns    int64
+	CPUNs   int64
+}
+
+// NewSysbench creates ntables sbtest tables with rows rows each and loads
+// them (bulk transactions + a final checkpoint, like sysbench prepare).
+func NewSysbench(clk *simclock.Clock, eng *txn.Engine, ntables int, rows int64) (*Sysbench, error) {
+	s := &Sysbench{eng: eng, rows: rows}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < ntables; i++ {
+		tr, err := eng.CreateTable(clk, fmt.Sprintf("sbtest%d", i+1))
+		if err != nil {
+			return nil, err
+		}
+		s.tables = append(s.tables, tr)
+		var tx *txn.Txn
+		for id := int64(1); id <= rows; id++ {
+			if tx == nil {
+				tx = eng.Begin(clk)
+			}
+			if err := tx.Insert(tr, id, row(rng, id)); err != nil {
+				return nil, fmt.Errorf("sysbench load table %d row %d: %w", i, id, err)
+			}
+			if id%1000 == 0 {
+				if err := tx.Commit(); err != nil {
+					return nil, err
+				}
+				tx = nil
+			}
+		}
+		if tx != nil {
+			if err := tx.Commit(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := eng.Checkpoint(clk); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// AttachSysbench reopens the sbtest tables on a recovered engine (the
+// post-crash resume path): no loading, the data is whatever recovery left.
+func AttachSysbench(clk *simclock.Clock, eng *txn.Engine, ntables int, rows int64) (*Sysbench, error) {
+	s := &Sysbench{eng: eng, rows: rows}
+	for i := 0; i < ntables; i++ {
+		tr, err := eng.Table(clk, fmt.Sprintf("sbtest%d", i+1))
+		if err != nil {
+			return nil, err
+		}
+		s.tables = append(s.tables, tr)
+	}
+	return s, nil
+}
+
+// row builds one sbtest row payload.
+func row(rng *rand.Rand, id int64) []byte {
+	v := make([]byte, RowSize)
+	for i := 0; i < 8; i++ {
+		v[i] = byte(uint64(id*2654435761) >> (8 * i)) // the k column
+	}
+	rng.Read(v[8:])
+	return v
+}
+
+// Rows reports rows per table.
+func (s *Sysbench) Rows() int64 { return s.rows }
+
+// Tables reports the table handles (recovery verification).
+func (s *Sysbench) Tables() []*btree.Tree { return s.tables }
+
+func (s *Sysbench) pick(rng *rand.Rand) (*btree.Tree, int64) {
+	return s.tables[rng.Intn(len(s.tables))], 1 + rng.Int63n(s.rows)
+}
+
+// PointSelect runs one point-select query (autocommit read).
+func (s *Sysbench) PointSelect(clk *simclock.Clock, rng *rand.Rand) error {
+	tr, id := s.pick(rng)
+	s.CPUNs += chargeCPU(clk, PointSelectCPU)
+	_, err := tr.Get(clk, id)
+	s.Queries++
+	return err
+}
+
+// RangeSelect runs one 100-row range query.
+func (s *Sysbench) RangeSelect(clk *simclock.Clock, rng *rand.Rand) error {
+	tr, id := s.pick(rng)
+	s.CPUNs += chargeCPU(clk, RangeSelectCPU)
+	_, err := tr.Scan(clk, id, RangeLen)
+	s.Queries++
+	return err
+}
+
+// ReadOnlyTxn runs a sysbench oltp_read_only transaction: 10 point selects
+// + 4 range queries.
+func (s *Sysbench) ReadOnlyTxn(clk *simclock.Clock, rng *rand.Rand) error {
+	for i := 0; i < 10; i++ {
+		if err := s.PointSelect(clk, rng); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < 4; i++ {
+		if err := s.RangeSelect(clk, rng); err != nil {
+			return err
+		}
+	}
+	s.Txns++
+	return nil
+}
+
+// ReadWriteTxn runs a sysbench oltp_read_write transaction: 10 point
+// selects, 4 range queries, 1 indexed update, 1 non-indexed update, 1
+// delete + 1 insert of the same id, then commit.
+func (s *Sysbench) ReadWriteTxn(clk *simclock.Clock, rng *rand.Rand) error {
+	tx := s.eng.Begin(clk)
+	s.CPUNs += chargeCPU(clk, BeginCommitCPU)
+	for i := 0; i < 10; i++ {
+		tr, id := s.pick(rng)
+		s.CPUNs += chargeCPU(clk, PointSelectCPU)
+		if _, err := tx.Get(tr, id); err != nil {
+			return err
+		}
+		s.Queries++
+	}
+	for i := 0; i < 4; i++ {
+		tr, id := s.pick(rng)
+		s.CPUNs += chargeCPU(clk, RangeSelectCPU)
+		if _, err := tx.Scan(tr, id, RangeLen); err != nil {
+			return err
+		}
+		s.Queries++
+	}
+	if err := s.updateOne(clk, rng, tx); err != nil {
+		return err
+	}
+	if err := s.updateOne(clk, rng, tx); err != nil {
+		return err
+	}
+	// delete_insert: remove a row and reinsert it under the same id.
+	tr, id := s.pick(rng)
+	s.CPUNs += chargeCPU(clk, DeleteCPU)
+	if err := tx.Delete(tr, id); err != nil {
+		return err
+	}
+	s.Queries++
+	s.CPUNs += chargeCPU(clk, InsertCPU)
+	if err := tx.Insert(tr, id, row(rng, id)); err != nil {
+		return err
+	}
+	s.Queries++
+	if err := tx.Commit(); err != nil {
+		return err
+	}
+	s.Txns++
+	return nil
+}
+
+func (s *Sysbench) updateOne(clk *simclock.Clock, rng *rand.Rand, tx *txn.Txn) error {
+	tr, id := s.pick(rng)
+	s.CPUNs += chargeCPU(clk, UpdateCPU)
+	if err := tx.Update(tr, id, row(rng, id)); err != nil {
+		return err
+	}
+	s.Queries++
+	return nil
+}
+
+// WriteOnlyTxn runs a sysbench oltp_write_only transaction: 2 updates, 1
+// delete + 1 insert, commit.
+func (s *Sysbench) WriteOnlyTxn(clk *simclock.Clock, rng *rand.Rand) error {
+	tx := s.eng.Begin(clk)
+	s.CPUNs += chargeCPU(clk, BeginCommitCPU)
+	for i := 0; i < 2; i++ {
+		if err := s.updateOne(clk, rng, tx); err != nil {
+			return err
+		}
+	}
+	tr, id := s.pick(rng)
+	s.CPUNs += chargeCPU(clk, DeleteCPU)
+	if err := tx.Delete(tr, id); err != nil {
+		return err
+	}
+	s.Queries++
+	s.CPUNs += chargeCPU(clk, InsertCPU)
+	if err := tx.Insert(tr, id, row(rng, id)); err != nil {
+		return err
+	}
+	s.Queries++
+	if err := tx.Commit(); err != nil {
+		return err
+	}
+	s.Txns++
+	return nil
+}
+
+// PointUpdateTxn runs the fig. 11 transaction: 10 point updates, commit.
+func (s *Sysbench) PointUpdateTxn(clk *simclock.Clock, rng *rand.Rand) error {
+	tx := s.eng.Begin(clk)
+	s.CPUNs += chargeCPU(clk, BeginCommitCPU)
+	for i := 0; i < 10; i++ {
+		if err := s.updateOne(clk, rng, tx); err != nil {
+			return err
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		return err
+	}
+	s.Txns++
+	return nil
+}

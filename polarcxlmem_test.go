@@ -1,0 +1,224 @@
+package polarcxlmem
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestFacadeLifecycle(t *testing.T) {
+	cluster, err := NewCluster(ClusterConfig{PoolPages: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := cluster.StartInstance("db0", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.Name() != "db0" {
+		t.Fatal("name")
+	}
+	tbl, err := inst.CreateTable("accounts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := inst.Begin()
+	for k := int64(1); k <= 50; k++ {
+		if err := tx.Insert(tbl, k, []byte(fmt.Sprintf("acct-%d", k))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	tx2 := inst.Begin()
+	v, err := tx2.Get(tbl, 7)
+	if err != nil || string(v) != "acct-7" {
+		t.Fatalf("get = %q, %v", v, err)
+	}
+	kvs, err := tx2.Scan(tbl, 10, 5)
+	if err != nil || len(kvs) != 5 || kvs[0].Key != 10 {
+		t.Fatalf("scan = %v, %v", kvs, err)
+	}
+	if err := tx2.Update(tbl, 7, []byte("updated")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx2.Delete(tbl, 8); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx2.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	tx3 := inst.Begin()
+	v, _ = tx3.Get(tbl, 7)
+	if string(v) != "acct-7" {
+		t.Fatalf("rollback lost: %q", v)
+	}
+	if _, err := tx3.Get(tbl, 8); err != nil {
+		t.Fatal("rolled-back delete missing")
+	}
+	tx3.Commit()
+	if err := inst.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeCrashRecover(t *testing.T) {
+	cluster, _ := NewCluster(ClusterConfig{PoolPages: 128})
+	inst, _ := cluster.StartInstance("db0", 64)
+	tbl, _ := inst.CreateTable("t")
+	tx := inst.Begin()
+	for k := int64(0); k < 100; k++ {
+		tx.Insert(tbl, k, []byte(fmt.Sprintf("v%03d", k)))
+	}
+	tx.Commit()
+	inst.Checkpoint()
+
+	// Uncommitted tail, then crash.
+	tx2 := inst.Begin()
+	tx2.Update(tbl, 5, []byte("BOOM"))
+	inst.Crash()
+
+	// The crashed handle refuses work.
+	if _, err := inst.CreateTable("x"); err == nil {
+		t.Fatal("crashed instance accepted work")
+	}
+	if _, _, err := cluster.Recover("nope"); err == nil {
+		t.Fatal("recovered unknown instance")
+	}
+	inst2, rec, err := cluster.Recover("db0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.PagesTrusted == 0 {
+		t.Fatalf("recovery report: %+v", rec)
+	}
+	tbl2, err := inst2.OpenTable("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx3 := inst2.Begin()
+	v, err := tx3.Get(tbl2, 5)
+	if err != nil || !bytes.Equal(v, []byte("v005")) {
+		t.Fatalf("after recovery Get(5) = %q, %v (uncommitted update must be gone)", v, err)
+	}
+	if _, err := tx3.Get(tbl2, 12345); !errors.Is(err, ErrKeyNotFound) {
+		t.Fatalf("missing key err = %v", err)
+	}
+	tx3.Commit()
+	// Double recover requires another crash.
+	if _, _, err := cluster.Recover("db0"); err == nil {
+		t.Fatal("recovered a live instance")
+	}
+}
+
+func TestFacadeDuplicateInstance(t *testing.T) {
+	cluster, _ := NewCluster(ClusterConfig{PoolPages: 128})
+	if _, err := cluster.StartInstance("a", 32); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cluster.StartInstance("a", 32); err == nil {
+		t.Fatal("duplicate instance accepted")
+	}
+}
+
+func TestSharingClusterCoherency(t *testing.T) {
+	sc, err := NewSharingCluster(SharingConfig{Nodes: 3, DBPPages: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pid, err := sc.SeedPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := sc.Clock()
+	// Round-robin counter increments across all nodes.
+	const rounds = 20
+	for r := 0; r < rounds; r++ {
+		for i := 0; i < sc.Nodes(); i++ {
+			err := sc.Node(i).ReadModifyWrite(clk, pid, 64, 8, func(b []byte) {
+				binary.LittleEndian.PutUint64(b, binary.LittleEndian.Uint64(b)+1)
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	buf := make([]byte, 8)
+	if err := sc.Node(0).Read(clk, pid, 64, buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := binary.LittleEndian.Uint64(buf); got != rounds*3 {
+		t.Fatalf("counter = %d, want %d", got, rounds*3)
+	}
+	if sc.Fusion().ResidentPages() != 1 {
+		t.Fatal("fusion bookkeeping")
+	}
+}
+
+func TestSharingClusterValidation(t *testing.T) {
+	if _, err := NewSharingCluster(SharingConfig{Nodes: 0}); err == nil {
+		t.Fatal("zero nodes accepted")
+	}
+}
+
+func TestMultiPoolPlacement(t *testing.T) {
+	// A two-domain rack (the paper's Figure 5 deployment): instances spread
+	// across pools by free capacity, and each recovers on its own domain.
+	cluster, err := NewCluster(ClusterConfig{PoolPages: 64, Pools: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cluster.Switches()) != 2 {
+		t.Fatal("rack has wrong domain count")
+	}
+	// Each instance needs ~48 blocks; one pool holds one such instance.
+	a, err := cluster.StartInstance("a", 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := cluster.StartInstance("b", 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa, _ := cluster.PlacementOf("a")
+	pb, _ := cluster.PlacementOf("b")
+	if pa == pb {
+		t.Fatalf("both instances placed on domain %d", pa)
+	}
+	// A third instance of the same size cannot fit anywhere.
+	if _, err := cluster.StartInstance("c", 48); err == nil {
+		t.Fatal("over-capacity placement accepted")
+	}
+	// But a small one can.
+	if _, err := cluster.StartInstance("small", 8); err != nil {
+		t.Fatal(err)
+	}
+	// Crash/recover an instance: it must come back on its original domain
+	// with its data.
+	tbl, err := a.CreateTable("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := a.Begin()
+	tx.Insert(tbl, 1, []byte("pool-local"))
+	tx.Commit()
+	a.Crash()
+	a2, _, err := cluster.Recover("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa2, _ := cluster.PlacementOf("a")
+	if pa2 != pa {
+		t.Fatal("recovery moved the instance to another domain")
+	}
+	tbl2, _ := a2.OpenTable("t")
+	tx2 := a2.Begin()
+	v, err := tx2.Get(tbl2, 1)
+	if err != nil || string(v) != "pool-local" {
+		t.Fatalf("post-recovery read: %q, %v", v, err)
+	}
+	_ = b
+}

@@ -1,0 +1,93 @@
+package polarcxlmem
+
+import (
+	"fmt"
+
+	"polarcxlmem/internal/cxl"
+	"polarcxlmem/internal/page"
+	"polarcxlmem/internal/sharing"
+	"polarcxlmem/internal/simclock"
+	"polarcxlmem/internal/storage"
+)
+
+// SharingConfig sizes a multi-primary deployment.
+type SharingConfig struct {
+	Nodes    int // database nodes
+	DBPPages int // distributed-buffer-pool frames in CXL
+	// MetaSlots bounds each node's page-metadata buffer (default 4096).
+	MetaSlots int
+}
+
+// SharingCluster is a multi-primary deployment (§3.3): N database nodes
+// operate directly on a shared CXL distributed buffer pool managed by a
+// buffer-fusion server, with cache coherency provided by the software
+// invalid/removal-flag protocol.
+type SharingCluster struct {
+	sw     *cxl.Switch
+	fusion *sharing.Fusion
+	nodes  []*sharing.Node
+	store  *storage.Store
+	clk    *simclock.Clock
+}
+
+// NewSharingCluster builds the deployment.
+func NewSharingCluster(cfg SharingConfig) (*SharingCluster, error) {
+	if cfg.Nodes <= 0 {
+		return nil, fmt.Errorf("polarcxlmem: sharing cluster needs nodes > 0")
+	}
+	if cfg.DBPPages <= 0 {
+		cfg.DBPPages = 256
+	}
+	if cfg.MetaSlots <= 0 {
+		cfg.MetaSlots = 4096
+	}
+	clk := simclock.New()
+	flagBytes := int64(cfg.MetaSlots) * 16
+	sw := cxl.NewSwitch(cxl.Config{
+		PoolBytes: int64(cfg.DBPPages)*page.Size + int64(cfg.Nodes+1)*flagBytes + 4096,
+	})
+	store := storage.New(storage.Config{})
+	fhost := sw.AttachHost("fusion-host")
+	dbp, err := fhost.Allocate(clk, "dbp", int64(cfg.DBPPages)*page.Size)
+	if err != nil {
+		return nil, err
+	}
+	fusion := sharing.NewFusion(fhost, dbp, store)
+	sc := &SharingCluster{sw: sw, fusion: fusion, store: store, clk: clk}
+	for i := 0; i < cfg.Nodes; i++ {
+		name := fmt.Sprintf("node-%d", i)
+		host := sw.AttachHost(name)
+		flags, err := host.Allocate(clk, name+"-flags", flagBytes)
+		if err != nil {
+			return nil, err
+		}
+		sc.nodes = append(sc.nodes, sharing.NewNode(name, fusion, host.NewCache(name, 8<<20), flags))
+	}
+	return sc, nil
+}
+
+// Clock exposes the cluster's virtual clock.
+func (s *SharingCluster) Clock() *simclock.Clock { return s.clk }
+
+// Storage exposes the backing page store (seed shared pages here).
+func (s *SharingCluster) Storage() *storage.Store { return s.store }
+
+// Fusion exposes the buffer-fusion server.
+func (s *SharingCluster) Fusion() *sharing.Fusion { return s.fusion }
+
+// Node returns node i's record-level sharing API.
+func (s *SharingCluster) Node(i int) *sharing.Node { return s.nodes[i] }
+
+// Nodes reports the node count.
+func (s *SharingCluster) Nodes() int { return len(s.nodes) }
+
+// SeedPage writes a durable zero page and returns its id — a convenience
+// for building shared datasets.
+func (s *SharingCluster) SeedPage() (uint64, error) {
+	id := s.store.AllocPageID()
+	img := make([]byte, page.Size)
+	if err := s.store.WritePage(s.clk, id, img); err != nil {
+		return 0, err
+	}
+	return id, nil
+}
