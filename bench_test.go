@@ -79,7 +79,7 @@ func BenchmarkCXLPoolPointRead(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	sb, err := workload.NewSysbench(clk, eng, 1, 4000)
+	sb, err := workload.NewSysbench(clk, eng, 1, 4000, 1)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -104,7 +104,7 @@ func BenchmarkTieredPoolPointRead(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	sb, err := workload.NewSysbench(clk, eng, 1, 4000)
+	sb, err := workload.NewSysbench(clk, eng, 1, 4000, 1)
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -39,7 +39,7 @@ func buildAndMeasure(name string, mk func(store *storage.Store, clk *simclock.Cl
 	if err != nil {
 		log.Fatal(err)
 	}
-	sb, err := workload.NewSysbench(clk, eng, 1, tableRows)
+	sb, err := workload.NewSysbench(clk, eng, 1, tableRows, 1)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -27,7 +27,7 @@ const rows = 4000
 // workloadPhase loads sysbench data, checkpoints, then runs post-checkpoint
 // committed updates (the redo tail recovery must replay).
 func workloadPhase(clk *simclock.Clock, eng *txn.Engine) error {
-	sb, err := workload.NewSysbench(clk, eng, 1, rows)
+	sb, err := workload.NewSysbench(clk, eng, 1, rows, 1)
 	if err != nil {
 		return err
 	}

@@ -235,7 +235,7 @@ func runAblateTier(cfg Config) ([]*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	sb, err := workload.NewSysbench(clk, eng, 1, rows)
+	sb, err := workload.NewSysbench(clk, eng, 1, rows, 1)
 	if err != nil {
 		return nil, err
 	}

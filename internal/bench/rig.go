@@ -109,7 +109,7 @@ func newPoolingRig(kind PoolKind, tables int, rows int64, lbpFrac float64) (*poo
 		return nil, err
 	}
 	r.eng = eng
-	sb, err := workload.NewSysbench(r.clk, eng, tables, rows)
+	sb, err := workload.NewSysbench(r.clk, eng, tables, rows, 1)
 	if err != nil {
 		return nil, err
 	}

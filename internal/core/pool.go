@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"polarcxlmem/internal/buffer"
@@ -135,31 +136,37 @@ func (p *CXLPool) Resident() int {
 
 // --- costed metadata access -------------------------------------------------
 
+// Metadata accessors panic on region errors: a failed flag-word access means
+// the CXL device itself failed out from under the pool, which no caller can
+// handle locally. The panic value wraps the region error, so crash-sweep
+// harnesses can recover() it and recognise injected host crashes
+// (fault.IsCrash) without matching message strings.
+
 func (p *CXLPool) metaLoad(clk *simclock.Clock, idx, field int64) uint64 {
 	v, err := p.region.Load64(clk, blockOff(idx)+field)
 	if err != nil {
-		panic(fmt.Sprintf("core: meta load block %d field %d: %v", idx, field, err))
+		panic(fmt.Errorf("core: meta load block %d field %d: %w", idx, field, err))
 	}
 	return v
 }
 
 func (p *CXLPool) metaStore(clk *simclock.Clock, idx, field int64, v uint64) {
 	if err := p.region.Store64(clk, blockOff(idx)+field, v); err != nil {
-		panic(fmt.Sprintf("core: meta store block %d field %d: %v", idx, field, err))
+		panic(fmt.Errorf("core: meta store block %d field %d: %w", idx, field, err))
 	}
 }
 
 func (p *CXLPool) headLoad(clk *simclock.Clock, off int64) uint64 {
 	v, err := p.region.Load64(clk, off)
 	if err != nil {
-		panic(fmt.Sprintf("core: header load %d: %v", off, err))
+		panic(fmt.Errorf("core: header load %d: %w", off, err))
 	}
 	return v
 }
 
 func (p *CXLPool) headStore(clk *simclock.Clock, off int64, v uint64) {
 	if err := p.region.Store64(clk, off, v); err != nil {
-		panic(fmt.Sprintf("core: header store %d: %v", off, err))
+		panic(fmt.Errorf("core: header store %d: %w", off, err))
 	}
 }
 
@@ -239,7 +246,7 @@ func (p *CXLPool) pushFree(clk *simclock.Clock, idx int64) {
 func (p *CXLPool) dataRegion(idx int64) *simmem.Region {
 	r, err := p.region.SubRegion(dataOff(idx), page.Size)
 	if err != nil {
-		panic(fmt.Sprintf("core: block %d data region: %v", idx, err))
+		panic(fmt.Errorf("core: block %d data region: %w", idx, err))
 	}
 	return r
 }
@@ -464,6 +471,9 @@ func (p *CXLPool) FlushAll(clk *simclock.Clock) error {
 		}
 	}
 	p.mu.Unlock()
+	// Flush in page-id order: map iteration order would make the substrate
+	// operation sequence differ run to run, breaking fault-plan replay.
+	sort.Slice(dirty, func(i, j int) bool { return dirty[i].id < dirty[j].id })
 	for _, v := range dirty {
 		st := &p.blocks[v.idx-1]
 		st.latch.RLock()

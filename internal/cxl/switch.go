@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"polarcxlmem/internal/fault"
 	"polarcxlmem/internal/simclock"
 	"polarcxlmem/internal/simcpu"
 	"polarcxlmem/internal/simmem"
@@ -52,6 +53,7 @@ type Switch struct {
 
 	mu    sync.Mutex
 	hosts map[string]*HostPort
+	inj   fault.Injector // optional fault injector; may be nil
 }
 
 // NewSwitch builds a switch with cfg (zero fields get calibrated defaults).
@@ -89,6 +91,31 @@ func (s *Switch) ResetStats() {
 
 // Manager exposes the memory manager (direct, non-RPC access for tools).
 func (s *Switch) Manager() *Manager { return s.mgr }
+
+// SetInjector installs (or, with nil, removes) the fault injector consulted
+// at the switch's host attach/detach points (HostPort Allocate, Reattach,
+// Release). Injection on the pooled memory itself is installed separately
+// via Device().SetInjector, so recovery code can keep the region healthy
+// while region-mapping RPCs fail, or vice versa.
+func (s *Switch) SetInjector(inj fault.Injector) {
+	s.mu.Lock()
+	s.inj = inj
+	s.mu.Unlock()
+}
+
+func (s *Switch) injector() fault.Injector {
+	s.mu.Lock()
+	inj := s.inj
+	s.mu.Unlock()
+	return inj
+}
+
+func (s *Switch) portPoint(op fault.Op) error {
+	if inj := s.injector(); inj != nil {
+		return inj.Point(op, 0)
+	}
+	return nil
+}
 
 // AttachHost connects a host to the switch, creating its x16 link. Attaching
 // an already-attached name returns the existing port (reconnect after crash).
@@ -132,6 +159,9 @@ func (h *HostPort) NewCache(node string, capacityBytes int64) *simcpu.Cache {
 // manager RPC and returns a bounds-checked region. One RPC at startup, as in
 // the paper.
 func (h *HostPort) Allocate(clk *simclock.Clock, client string, size int64) (*simmem.Region, error) {
+	if err := h.sw.portPoint(fault.OpHostAttach); err != nil {
+		return nil, err
+	}
 	resp, err := h.sw.rpc.Call(clk, mgrEndpoint, "alloc", 64, allocReq{Client: client, Size: size})
 	if err != nil {
 		return nil, err
@@ -145,6 +175,9 @@ func (h *HostPort) Allocate(clk *simclock.Clock, client string, size int64) (*si
 // controller, so the new process maps the same offset and finds its buffer
 // pool intact.
 func (h *HostPort) Reattach(clk *simclock.Clock, client string) (*simmem.Region, error) {
+	if err := h.sw.portPoint(fault.OpHostAttach); err != nil {
+		return nil, err
+	}
 	resp, err := h.sw.rpc.Call(clk, mgrEndpoint, "reattach", 64, client)
 	if err != nil {
 		return nil, err
@@ -155,6 +188,9 @@ func (h *HostPort) Reattach(clk *simclock.Clock, client string) (*simmem.Region,
 
 // Release frees client's allocation.
 func (h *HostPort) Release(clk *simclock.Clock, client string) error {
+	if err := h.sw.portPoint(fault.OpHostDetach); err != nil {
+		return err
+	}
 	_, err := h.sw.rpc.Call(clk, mgrEndpoint, "free", 64, client)
 	return err
 }

@@ -1,0 +1,319 @@
+// Package fault is the deterministic fault-injection layer for the
+// PolarCXLMem simulator.
+//
+// The paper's headline claims — PolarRecv rebuilding a consistent buffer
+// pool from surviving CXL memory (§3.2), and the CXL 2.0 software
+// cache-coherency protocol staying correct under concurrent primaries
+// (§3.3) — are only trustworthy under adversarial crash timing. This
+// package makes that timing a first-class, reproducible input: a Plan is a
+// seedable set of triggers counted in simulator operations ("crash the host
+// on the Nth CXL memory write", "drop the Kth clflush", "fail network sends
+// after byte M", "return ENOSPC from the Jth frame allocation"), and the
+// substrate packages (internal/simmem, internal/simcpu, internal/simnet,
+// internal/cxl, internal/sharing) consult the installed Injector at every
+// instrumented point.
+//
+// The repro contract: every injected-fault test failure is reproducible
+// from a single (seed, crashIndex) pair. The seed fixes the workload, the
+// index fixes the trigger point, and the simulator itself is deterministic
+// in virtual time, so NewPlan(seed).CrashAt(op, crashIndex) replays the
+// exact failure. See docs/fault-injection.md.
+//
+// Plan deliberately imports nothing from the simulator, so every substrate
+// package can depend on it without cycles.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Op names one class of instrumented simulator operation. Trigger indices
+// are counted per class, 1-based, in the order the simulation executes them.
+type Op string
+
+// Instrumented operation classes and where their points live.
+const (
+	// OpMemWrite: one raw write to a simmem.Device (Region.WriteRaw; every
+	// costed write — WriteAt, Store64, cache write-backs — funnels through
+	// it). This is the write-side crash surface PolarRecv sweeps.
+	OpMemWrite Op = "mem-write"
+	// OpMemRead: one raw read from a simmem.Device.
+	OpMemRead Op = "mem-read"
+	// OpFlushLine: one resident cache line processed by a simcpu.Cache.Flush
+	// (clflush). Dropping it models a lost clflush: the line is neither
+	// written back nor invalidated.
+	OpFlushLine Op = "flush-line"
+	// OpFlushRange: one simcpu.Cache.Flush call (the whole clflush range).
+	OpFlushRange Op = "flush-range"
+	// OpWriteBack: one dirty-line eviction write-back in simcpu.Cache.
+	// Dropping it silently loses the line's data.
+	OpWriteBack Op = "cache-writeback"
+	// OpNetSend: one simnet.Fabric.Call; bytes accumulate the request sizes,
+	// so FailAfterBytes models a link that dies after M bytes.
+	OpNetSend Op = "net-send"
+	// OpFrameAlloc: one DBP frame allocation in sharing.Fusion. Failing it
+	// with ErrNoSpace models ENOSPC from the CXL memory manager.
+	OpFrameAlloc Op = "frame-alloc"
+	// OpHostAttach: one cxl.HostPort region mapping (Allocate/Reattach).
+	OpHostAttach Op = "host-attach"
+	// OpHostDetach: one cxl.HostPort release.
+	OpHostDetach Op = "host-detach"
+)
+
+// Sentinel errors. Injected errors wrap one of these; use errors.Is (or the
+// IsCrash/IsDrop helpers) rather than equality.
+var (
+	// ErrCrash marks an injected host crash. Once a crash trigger fires, the
+	// plan latches: every subsequent point returns the same crash error,
+	// exactly as every device access fails on a dead host. Disarm the plan
+	// before running recovery.
+	ErrCrash = errors.New("fault: injected host crash")
+	// ErrDrop marks an injected silent operation loss. Instrumented points
+	// that support dropping (memory writes, clflush lines, eviction
+	// write-backs) skip the operation and report success to the caller.
+	ErrDrop = errors.New("fault: injected drop")
+	// ErrNoSpace is the canonical payload for FailAt on OpFrameAlloc.
+	ErrNoSpace = errors.New("fault: injected allocation failure (ENOSPC)")
+)
+
+// Injector is consulted before an instrumented operation executes. A nil
+// return lets the operation proceed; an error wrapping ErrDrop makes
+// drop-capable points skip the operation silently; any other error aborts
+// the operation and is surfaced to the caller.
+type Injector interface {
+	Point(op Op, bytes int64) error
+}
+
+// Orderer is an optional Injector extension: flush points ask it whether
+// the current Flush call should process its lines in reverse address order,
+// so crash/drop triggers land on different publication prefixes.
+type Orderer interface {
+	ReverseFlush() bool
+}
+
+// CrashError is the latched injected-crash error. Its message carries the
+// (seed, crashIndex) repro pair verbatim.
+type CrashError struct {
+	Seed  int64
+	Op    Op
+	Index int64
+}
+
+// Error implements error.
+func (e *CrashError) Error() string {
+	return fmt.Sprintf("fault: injected crash at %s #%d (repro: seed=%d crashIndex=%d op=%s)",
+		e.Op, e.Index, e.Seed, e.Index, e.Op)
+}
+
+// Unwrap makes errors.Is(err, ErrCrash) true.
+func (e *CrashError) Unwrap() error { return ErrCrash }
+
+// IsCrash reports whether err is (or wraps) an injected host crash.
+func IsCrash(err error) bool { return errors.Is(err, ErrCrash) }
+
+// IsDrop reports whether err is (or wraps) an injected drop.
+func IsDrop(err error) bool { return errors.Is(err, ErrDrop) }
+
+type action uint8
+
+const (
+	actCrash action = iota
+	actDrop
+	actFail
+)
+
+func (a action) String() string {
+	switch a {
+	case actCrash:
+		return "crash"
+	case actDrop:
+		return "drop"
+	default:
+		return "fail"
+	}
+}
+
+// trigger is one armed fault.
+type trigger struct {
+	op         Op
+	index      int64 // fire on this 1-based occurrence; 0 = byte-armed
+	afterBytes int64 // fire once cumulative op bytes exceed this
+	act        action
+	err        error // actFail payload
+	persistent bool  // keep firing after the first hit (FailAfterBytes)
+	fired      bool
+}
+
+// Firing records one trigger that went off.
+type Firing struct {
+	Op    Op
+	Index int64 // the op occurrence that tripped the trigger
+	Bytes int64 // cumulative op bytes at that instant
+	Act   string
+}
+
+// Plan is a deterministic fault plan plus the operation counters it is
+// evaluated against. It is safe for concurrent use; counting order is
+// deterministic whenever the simulation itself is (single-driver scripted
+// workloads).
+type Plan struct {
+	seed int64
+
+	mu       sync.Mutex
+	counts   map[Op]int64
+	bytes    map[Op]int64
+	trigs    []*trigger
+	revFlush map[int64]bool
+	crashed  *CrashError
+	disarmed bool
+	fired    []Firing
+}
+
+var _ Injector = (*Plan)(nil)
+var _ Orderer = (*Plan)(nil)
+
+// NewPlan returns an empty plan. seed is the workload seed the plan's
+// triggers are meaningful under; it is embedded in every crash error so
+// failures print their repro pair.
+func NewPlan(seed int64) *Plan {
+	return &Plan{
+		seed:     seed,
+		counts:   make(map[Op]int64),
+		bytes:    make(map[Op]int64),
+		revFlush: make(map[int64]bool),
+	}
+}
+
+// Seed reports the plan's workload seed.
+func (p *Plan) Seed() int64 { return p.seed }
+
+// CrashAt arms a host crash on the index-th occurrence of op.
+func (p *Plan) CrashAt(op Op, index int64) *Plan {
+	return p.arm(&trigger{op: op, index: index, act: actCrash})
+}
+
+// DropAt arms a silent loss of the index-th occurrence of op.
+func (p *Plan) DropAt(op Op, index int64) *Plan {
+	return p.arm(&trigger{op: op, index: index, act: actDrop})
+}
+
+// FailAt arms a one-shot failure of the index-th occurrence of op with err.
+func (p *Plan) FailAt(op Op, index int64, err error) *Plan {
+	return p.arm(&trigger{op: op, index: index, act: actFail, err: err})
+}
+
+// FailAfterBytes arms a persistent failure of op once its cumulative bytes
+// exceed limit — every subsequent occurrence fails with err.
+func (p *Plan) FailAfterBytes(op Op, limit int64, err error) *Plan {
+	return p.arm(&trigger{op: op, afterBytes: limit, act: actFail, err: err, persistent: true})
+}
+
+// ReverseFlushAt makes the index-th Cache.Flush call process its lines in
+// reverse address order (compose with CrashAt/DropAt on OpFlushLine to vary
+// which publication prefix survives).
+func (p *Plan) ReverseFlushAt(index int64) *Plan {
+	p.mu.Lock()
+	p.revFlush[index] = true
+	p.mu.Unlock()
+	return p
+}
+
+func (p *Plan) arm(t *trigger) *Plan {
+	p.mu.Lock()
+	p.trigs = append(p.trigs, t)
+	p.mu.Unlock()
+	return p
+}
+
+// Disarm stops all injection and counting: subsequent points are free. Call
+// it after the simulated crash, before running recovery, so the recovering
+// instance sees a healthy substrate.
+func (p *Plan) Disarm() {
+	p.mu.Lock()
+	p.disarmed = true
+	p.mu.Unlock()
+}
+
+// Count reports how many occurrences of op have been observed while armed.
+func (p *Plan) Count(op Op) int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.counts[op]
+}
+
+// Bytes reports the cumulative bytes observed for op while armed.
+func (p *Plan) Bytes(op Op) int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.bytes[op]
+}
+
+// Crashed reports the latched crash error, or nil.
+func (p *Plan) Crashed() *CrashError {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.crashed
+}
+
+// Firings reports every trigger that went off, in firing order.
+func (p *Plan) Firings() []Firing {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]Firing, len(p.fired))
+	copy(out, p.fired)
+	return out
+}
+
+// Point implements Injector.
+func (p *Plan) Point(op Op, bytes int64) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.disarmed {
+		return nil
+	}
+	p.counts[op]++
+	p.bytes[op] += bytes
+	if p.crashed != nil {
+		return p.crashed // dead host: everything fails
+	}
+	idx := p.counts[op]
+	for _, t := range p.trigs {
+		if t.op != op || (t.fired && !t.persistent) {
+			continue
+		}
+		hit := false
+		if t.index > 0 {
+			hit = idx == t.index
+		} else if t.afterBytes > 0 {
+			hit = p.bytes[op] > t.afterBytes
+		}
+		if !hit {
+			continue
+		}
+		t.fired = true
+		p.fired = append(p.fired, Firing{Op: op, Index: idx, Bytes: p.bytes[op], Act: t.act.String()})
+		switch t.act {
+		case actCrash:
+			p.crashed = &CrashError{Seed: p.seed, Op: op, Index: idx}
+			return p.crashed
+		case actDrop:
+			return fmt.Errorf("fault: dropped %s #%d (seed=%d): %w", op, idx, p.seed, ErrDrop)
+		default:
+			return fmt.Errorf("fault: failed %s #%d (seed=%d): %w", op, idx, p.seed, t.err)
+		}
+	}
+	return nil
+}
+
+// ReverseFlush implements Orderer: it consults the index of the most
+// recently counted OpFlushRange point.
+func (p *Plan) ReverseFlush() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.disarmed {
+		return false
+	}
+	return p.revFlush[p.counts[OpFlushRange]]
+}

@@ -1,0 +1,217 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestCrashLatches(t *testing.T) {
+	p := NewPlan(7).CrashAt(OpMemWrite, 3)
+	if err := p.Point(OpMemWrite, 8); err != nil {
+		t.Fatalf("write #1: %v", err)
+	}
+	if err := p.Point(OpMemWrite, 8); err != nil {
+		t.Fatalf("write #2: %v", err)
+	}
+	err := p.Point(OpMemWrite, 8)
+	if !IsCrash(err) {
+		t.Fatalf("write #3: want crash, got %v", err)
+	}
+	var ce *CrashError
+	if !errors.As(err, &ce) || ce.Seed != 7 || ce.Index != 3 || ce.Op != OpMemWrite {
+		t.Fatalf("crash error carries wrong repro pair: %+v", ce)
+	}
+	if !strings.Contains(err.Error(), "seed=7") || !strings.Contains(err.Error(), "crashIndex=3") {
+		t.Fatalf("crash error must print the repro pair, got %q", err)
+	}
+	// Dead host: every subsequent point, of any class, fails the same way.
+	for _, op := range []Op{OpMemWrite, OpMemRead, OpFlushLine, OpNetSend} {
+		if err := p.Point(op, 1); !IsCrash(err) {
+			t.Fatalf("post-crash %s: want crash, got %v", op, err)
+		}
+	}
+	if p.Crashed() == nil {
+		t.Fatal("Crashed() should report the latched error")
+	}
+	if got := len(p.Firings()); got != 1 {
+		t.Fatalf("crash latch must record exactly one firing, got %d", got)
+	}
+}
+
+func TestDropIsOneShot(t *testing.T) {
+	p := NewPlan(1).DropAt(OpFlushLine, 2)
+	if err := p.Point(OpFlushLine, 64); err != nil {
+		t.Fatalf("line #1: %v", err)
+	}
+	if err := p.Point(OpFlushLine, 64); !IsDrop(err) {
+		t.Fatalf("line #2: want drop, got %v", err)
+	}
+	if err := p.Point(OpFlushLine, 64); err != nil {
+		t.Fatalf("line #3 after one-shot drop: %v", err)
+	}
+	if IsCrash(errors.New("x")) || IsDrop(errors.New("x")) {
+		t.Fatal("foreign errors must not classify as injected")
+	}
+}
+
+func TestFailAfterBytesIsPersistent(t *testing.T) {
+	p := NewPlan(1).FailAfterBytes(OpNetSend, 100, ErrNoSpace)
+	if err := p.Point(OpNetSend, 60); err != nil {
+		t.Fatalf("send #1 (60B): %v", err)
+	}
+	if err := p.Point(OpNetSend, 60); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("send #2 (120B cumulative): want ErrNoSpace, got %v", err)
+	}
+	if err := p.Point(OpNetSend, 1); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("send #3: persistent trigger must keep firing, got %v", err)
+	}
+	if p.Bytes(OpNetSend) != 121 {
+		t.Fatalf("byte accounting: want 121, got %d", p.Bytes(OpNetSend))
+	}
+	if got := len(p.Firings()); got != 2 {
+		t.Fatalf("persistent trigger fired %d times, want 2", got)
+	}
+}
+
+func TestFailAtSpecificIndex(t *testing.T) {
+	boom := errors.New("boom")
+	p := NewPlan(1).FailAt(OpFrameAlloc, 2, boom)
+	if err := p.Point(OpFrameAlloc, 16384); err != nil {
+		t.Fatalf("alloc #1: %v", err)
+	}
+	if err := p.Point(OpFrameAlloc, 16384); !errors.Is(err, boom) {
+		t.Fatalf("alloc #2: want boom, got %v", err)
+	}
+	if err := p.Point(OpFrameAlloc, 16384); err != nil {
+		t.Fatalf("alloc #3: one-shot FailAt must not repeat: %v", err)
+	}
+}
+
+func TestReverseFlushAt(t *testing.T) {
+	p := NewPlan(1).ReverseFlushAt(2)
+	p.Point(OpFlushRange, 4096) // flush #1
+	if p.ReverseFlush() {
+		t.Fatal("flush #1 should run forward")
+	}
+	p.Point(OpFlushRange, 4096) // flush #2
+	if !p.ReverseFlush() {
+		t.Fatal("flush #2 should run reversed")
+	}
+	p.Point(OpFlushRange, 4096)
+	if p.ReverseFlush() {
+		t.Fatal("flush #3 should run forward")
+	}
+}
+
+func TestDisarmStopsEverything(t *testing.T) {
+	p := NewPlan(1).CrashAt(OpMemWrite, 1).ReverseFlushAt(1)
+	p.Disarm()
+	if err := p.Point(OpMemWrite, 8); err != nil {
+		t.Fatalf("disarmed point must pass: %v", err)
+	}
+	if p.Count(OpMemWrite) != 0 {
+		t.Fatal("disarmed plan must not count")
+	}
+	p.Point(OpFlushRange, 64)
+	if p.ReverseFlush() {
+		t.Fatal("disarmed plan must not reorder flushes")
+	}
+}
+
+// fakeTB captures harness output so Sweep's own reporting is testable.
+type fakeTB struct {
+	fatals []string
+	errors []string
+	logs   []string
+}
+
+func (f *fakeTB) Helper() {}
+func (f *fakeTB) Logf(format string, args ...any) {
+	f.logs = append(f.logs, fmt.Sprintf(format, args...))
+}
+func (f *fakeTB) Errorf(format string, args ...any) {
+	f.errors = append(f.errors, fmt.Sprintf(format, args...))
+}
+func (f *fakeTB) Fatalf(format string, args ...any) {
+	f.fatals = append(f.fatals, fmt.Sprintf(format, args...))
+	panic("fatal")
+}
+
+func TestSweepEnumeratesEveryIndex(t *testing.T) {
+	tb := &fakeTB{}
+	var runs int
+	res := Sweep(tb, Config{Seed: 42}, func(plan *Plan) error {
+		runs++
+		for i := 0; i < 5; i++ {
+			if err := plan.Point(OpMemWrite, 8); err != nil {
+				if !IsCrash(err) {
+					return err
+				}
+				break // host died; stop the workload
+			}
+		}
+		plan.Disarm()
+		return nil
+	})
+	if res.Total != 5 || res.Tested != 5 || res.Fired != 5 || res.Failures != 0 {
+		t.Fatalf("sweep result %+v, want total=tested=fired=5", res)
+	}
+	if runs != 6 { // clean pass + 5 crash points
+		t.Fatalf("run invoked %d times, want 6", runs)
+	}
+	if len(tb.errors) != 0 {
+		t.Fatalf("unexpected sweep errors: %v", tb.errors)
+	}
+}
+
+func TestSweepReportsReproPair(t *testing.T) {
+	tb := &fakeTB{}
+	res := Sweep(tb, Config{Seed: 9}, func(plan *Plan) error {
+		var crashed bool
+		for i := 0; i < 4; i++ {
+			if err := plan.Point(OpMemWrite, 8); err != nil {
+				crashed = true
+				break
+			}
+		}
+		plan.Disarm()
+		if crashed && plan.Crashed().Index == 3 {
+			return errors.New("invariant violated after crash")
+		}
+		return nil
+	})
+	if res.Failures != 1 {
+		t.Fatalf("want exactly one failure, got %+v", res)
+	}
+	found := false
+	for _, e := range tb.errors {
+		if strings.Contains(e, "seed=9") && strings.Contains(e, "crashIndex=3") &&
+			strings.Contains(e, `CrashAt("mem-write", 3)`) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("failure report must carry the (seed, crashIndex) repro pair: %v", tb.errors)
+	}
+}
+
+func TestSweepStrideFromPoints(t *testing.T) {
+	tb := &fakeTB{}
+	res := Sweep(tb, Config{Seed: 1, Points: 10}, func(plan *Plan) error {
+		for i := 0; i < 100; i++ {
+			if err := plan.Point(OpMemWrite, 8); err != nil {
+				break
+			}
+		}
+		plan.Disarm()
+		return nil
+	})
+	if res.Total != 100 {
+		t.Fatalf("total %d, want 100", res.Total)
+	}
+	if res.Tested < 10 || res.Tested > 11 {
+		t.Fatalf("Points=10 over 100 ops should test ~10 indices, got %d", res.Tested)
+	}
+}

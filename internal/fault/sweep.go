@@ -1,0 +1,126 @@
+package fault
+
+// The crash-point sweep harness: enumerate every occurrence index of one
+// operation class in a scripted workload, arm a fault at each index in turn,
+// and require the system's invariants to hold afterwards. The harness is
+// substrate-agnostic — it knows nothing about pools, engines, or recovery —
+// so internal/recovery and internal/sharing drive it with their own run
+// closures without import cycles.
+
+// TB is the subset of testing.TB the sweep needs (kept as a local interface
+// so non-test binaries never link the testing package).
+type TB interface {
+	Helper()
+	Logf(format string, args ...any)
+	Errorf(format string, args ...any)
+	Fatalf(format string, args ...any)
+}
+
+// Action selects what each sweep point injects.
+type Action string
+
+// Sweep actions.
+const (
+	ActionCrash Action = "crash" // CrashAt: host dies at the point
+	ActionDrop  Action = "drop"  // DropAt: the operation is silently lost
+)
+
+// Config parameterizes a sweep.
+type Config struct {
+	Seed int64  // workload seed, embedded in every repro pair
+	Op   Op     // operation class to sweep; default OpMemWrite
+	Act  Action // what to inject at each point; default ActionCrash
+
+	// Stride tests every Stride-th index (1 = every index). When Stride is
+	// zero and Points is set, the stride is derived so roughly Points
+	// indices are tested — the CI smoke configuration.
+	Stride int64
+	Points int64
+	// MaxPoints caps the number of tested indices (0 = no cap).
+	MaxPoints int
+}
+
+// Result summarizes a sweep.
+type Result struct {
+	Total    int64 // op occurrences counted in the clean pass
+	Tested   int   // indices exercised
+	Fired    int   // runs whose trigger actually went off
+	Failures int   // runs whose invariants failed
+}
+
+// Sweep runs the (seed, crashIndex) sweep. run must build a FRESH system,
+// install plan as the substrate injector, execute the seed-scripted
+// workload — treating IsCrash errors (including panics carrying them) as
+// the host dying — then Disarm the plan, recover, and verify every
+// invariant, returning an error on any violation.
+//
+// The first call is a clean counting pass: no trigger is armed, the
+// workload must complete, and its invariants must already hold (this also
+// pins down Total, the denominator of the sweep). Every failure afterwards
+// is reported with the (seed, crashIndex) pair that reproduces it in a
+// single targeted run.
+func Sweep(tb TB, cfg Config, run func(plan *Plan) error) Result {
+	tb.Helper()
+	op := cfg.Op
+	if op == "" {
+		op = OpMemWrite
+	}
+	act := cfg.Act
+	if act == "" {
+		act = ActionCrash
+	}
+	clean := NewPlan(cfg.Seed)
+	if err := run(clean); err != nil {
+		tb.Fatalf("fault sweep: clean pass (seed=%d, no faults armed) failed: %v", cfg.Seed, err)
+	}
+	res := Result{Total: clean.Count(op)}
+	if res.Total == 0 {
+		tb.Fatalf("fault sweep: clean pass executed zero %q operations; nothing to sweep", op)
+	}
+	stride := cfg.Stride
+	if stride < 1 && cfg.Points > 0 {
+		stride = (res.Total + cfg.Points - 1) / cfg.Points
+	}
+	if stride < 1 {
+		stride = 1
+	}
+	for idx := int64(1); idx <= res.Total; idx += stride {
+		if cfg.MaxPoints > 0 && res.Tested >= cfg.MaxPoints {
+			break
+		}
+		plan := NewPlan(cfg.Seed)
+		switch act {
+		case ActionDrop:
+			plan.DropAt(op, idx)
+		default:
+			plan.CrashAt(op, idx)
+		}
+		err := run(plan)
+		res.Tested++
+		if len(plan.Firings()) > 0 {
+			res.Fired++
+		} else {
+			// The workload is seed-deterministic, so an unreached index means
+			// the run diverged from the counting pass — itself a bug.
+			res.Failures++
+			tb.Errorf("fault sweep: seed=%d index=%d op=%s: trigger never fired (workload diverged from counting pass)",
+				cfg.Seed, idx, op)
+			continue
+		}
+		if err != nil {
+			res.Failures++
+			tb.Errorf("fault sweep: FAILED seed=%d crashIndex=%d op=%s act=%s: %v\n  repro: fault.NewPlan(%d).%sAt(%q, %d)",
+				cfg.Seed, idx, op, act, err, cfg.Seed, titleAct(act), op, idx)
+		}
+	}
+	tb.Logf("fault sweep: op=%s act=%s seed=%d total=%d tested=%d fired=%d failures=%d",
+		op, act, cfg.Seed, res.Total, res.Tested, res.Fired, res.Failures)
+	return res
+}
+
+func titleAct(a Action) string {
+	if a == ActionDrop {
+		return "Drop"
+	}
+	return "Crash"
+}

@@ -1,0 +1,94 @@
+package recovery
+
+import (
+	"fmt"
+	"testing"
+
+	"polarcxlmem/internal/simclock"
+)
+
+// TestPolarRecvRedoFractionRegression guards the paper's instant-recovery
+// claim (§3.2/§4.3): after a crash, PolarRecv must trust the overwhelming
+// majority of CXL-resident pages as-is and replay redo only for the handful
+// that were write-locked or "too new" at the crash instant. If a future
+// change starts rebuilding a large fraction of the pool, recovery silently
+// degrades toward the vanilla scheme — this test turns that into a failure.
+func TestPolarRecvRedoFractionRegression(t *testing.T) {
+	r := newCXLRig(t, 512)
+	tr, err := r.eng.CreateTable(r.clk, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A wide committed dataset spanning many pages (~400 B rows).
+	wide := func(k int64) []byte { return []byte(fmt.Sprintf("%08d-%0390d", k, k)) }
+	tx := r.eng.Begin(r.clk)
+	for k := int64(0); k < 2000; k++ {
+		if err := tx.Insert(tr, k, wide(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.eng.Checkpoint(r.clk); err != nil {
+		t.Fatal(err)
+	}
+	// Post-checkpoint committed work on a few keys (durable: trusted pages),
+	// plus one in-flight transaction at the crash instant (its page is the
+	// legitimate rebuild work).
+	tx2 := r.eng.Begin(r.clk)
+	for k := int64(0); k < 10; k++ {
+		if err := tx2.Update(tr, k*190, []byte(fmt.Sprintf("post-ckpt-%06d", k))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tx2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	tx3 := r.eng.Begin(r.clk)
+	if err := tx3.Update(tr, 1001, []byte("IN-FLIGHT-AT-CRASH")); err != nil {
+		t.Fatal(err)
+	}
+	resident := r.pool.Resident()
+	if resident < 40 {
+		t.Fatalf("dataset spans only %d resident pages; regression test underpowered", resident)
+	}
+
+	_, eng2, res := r.crashAndRecover(t)
+
+	// The instant-recovery bound: redo-applied pages stay below 10% of the
+	// resident pool. Today the real number is 1-2 pages out of ~60+.
+	maxRebuilt := resident / 10
+	if res.PagesRebuilt > maxRebuilt {
+		t.Fatalf("PolarRecv rebuilt %d of %d resident pages (> %d = 10%%): instant-recovery regressed (%+v)",
+			res.PagesRebuilt, resident, maxRebuilt, res)
+	}
+	if res.PagesRebuilt == 0 {
+		t.Fatal("in-flight write-locked page was not rebuilt at all; crash setup broken")
+	}
+	if res.PagesTrusted+res.PagesRebuilt+res.PagesDropped < resident {
+		t.Fatalf("recovery lost track of pages: trusted=%d rebuilt=%d dropped=%d resident=%d",
+			res.PagesTrusted, res.PagesRebuilt, res.PagesDropped, resident)
+	}
+	// Warm restart: the surviving pages are immediately servable.
+	if res.WarmPages < resident-maxRebuilt {
+		t.Fatalf("warm pages %d of %d resident: pool came back cold", res.WarmPages, resident)
+	}
+	// And the recovered state is still correct.
+	clk := simclock.NewAt(r.clk.Now())
+	tr2, err := eng2.Table(clk, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr2.Validate(clk); err != nil {
+		t.Fatal(err)
+	}
+	v, err := tr2.Get(clk, 0)
+	if err != nil || string(v) != "post-ckpt-000000" {
+		t.Fatalf("post-checkpoint committed update lost: %q, %v", v, err)
+	}
+	v, err = tr2.Get(clk, 1001)
+	if err != nil || string(v) == "IN-FLIGHT-AT-CRASH" {
+		t.Fatalf("uncommitted update survived recovery: %q, %v", v, err)
+	}
+}

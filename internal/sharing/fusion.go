@@ -28,9 +28,11 @@ package sharing
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"polarcxlmem/internal/cxl"
+	"polarcxlmem/internal/fault"
 	"polarcxlmem/internal/page"
 	"polarcxlmem/internal/simclock"
 	"polarcxlmem/internal/simmem"
@@ -77,6 +79,7 @@ type Fusion struct {
 	nextOff  int64
 	lruTick  int64
 	getCalls int64
+	inj      fault.Injector // optional fault injector; may be nil
 }
 
 // NewFusion builds a fusion server over a CXL region, backed by store for
@@ -113,9 +116,23 @@ func (f *Fusion) GetCalls() int64 {
 // Region exposes the DBP region (nodes map it read/write).
 func (f *Fusion) Region() *simmem.Region { return f.region }
 
+// SetInjector installs (or, with nil, removes) the fault injector consulted
+// on every DBP frame allocation. Arm fault.OpFrameAlloc with ErrNoSpace to
+// model the CXL memory manager running out of pooled memory.
+func (f *Fusion) SetInjector(inj fault.Injector) {
+	f.mu.Lock()
+	f.inj = inj
+	f.mu.Unlock()
+}
+
 // allocFrame reserves a frame offset, recycling if the free space is gone.
 // Caller holds f.mu.
 func (f *Fusion) allocFrame(clk *simclock.Clock) (int64, error) {
+	if f.inj != nil {
+		if err := f.inj.Point(fault.OpFrameAlloc, page.Size); err != nil {
+			return 0, err
+		}
+	}
 	if n := len(f.free); n > 0 {
 		off := f.free[n-1]
 		f.free = f.free[:n-1]
@@ -231,6 +248,9 @@ func (f *Fusion) FlushDirty(clk *simclock.Clock, barrier func(*simclock.Clock, u
 		}
 	}
 	f.mu.Unlock()
+	// Flush in page-id order: map iteration order would make the substrate
+	// operation sequence differ run to run, breaking fault-plan replay.
+	sort.Slice(dirty, func(i, j int) bool { return dirty[i].id < dirty[j].id })
 	img := make([]byte, page.Size)
 	for _, ps := range dirty {
 		ps.lock.RLock()
@@ -292,12 +312,12 @@ func (f *Fusion) UnlockWrite(clk *simclock.Clock, node string, pageID uint64) er
 	ps, ok := f.pages[pageID]
 	if ok {
 		ps.dirty = true
-		for other, fa := range ps.active {
+		for _, other := range sortedNodes(ps.active) {
 			if other == node {
 				continue
 			}
 			// The paper's "single memory store operation on CXL memory".
-			if err := f.dev.Store64(clk, fa.invalid, 1); err != nil {
+			if err := f.dev.Store64(clk, ps.active[other].invalid, 1); err != nil {
 				f.mu.Unlock()
 				return err
 			}
@@ -317,7 +337,10 @@ func (f *Fusion) UnlockWrite(clk *simclock.Clock, node string, pageID uint64) er
 func (f *Fusion) recycleLocked(clk *simclock.Clock) error {
 	var victim *pageState
 	for _, ps := range f.pages {
-		if victim == nil || ps.elem < victim.elem {
+		// Tie-break equal LRU ticks by page id so the victim (and thus the
+		// substrate operation sequence) is deterministic.
+		if victim == nil || ps.elem < victim.elem ||
+			(ps.elem == victim.elem && ps.id < victim.id) {
 			victim = ps
 		}
 	}
@@ -338,14 +361,25 @@ func (f *Fusion) recycleLocked(clk *simclock.Clock) error {
 			return err
 		}
 	}
-	for _, fa := range victim.active {
-		if err := f.dev.Store64(clk, fa.removal, 1); err != nil {
+	for _, node := range sortedNodes(victim.active) {
+		if err := f.dev.Store64(clk, victim.active[node].removal, 1); err != nil {
 			return err
 		}
 	}
 	delete(f.pages, victim.id)
 	f.free = append(f.free, victim.off)
 	return nil
+}
+
+// sortedNodes returns the node names of an active map in stable order, so
+// flag-store sequences replay identically under a fault plan.
+func sortedNodes(active map[string]flagAddrs) []string {
+	nodes := make([]string, 0, len(active))
+	for n := range active {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	return nodes
 }
 
 // Recycle runs one background recycle step (the paper's background thread;

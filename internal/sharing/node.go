@@ -2,6 +2,7 @@ package sharing
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"polarcxlmem/internal/page"
@@ -76,6 +77,17 @@ func (n *Node) Stats() NodeStats {
 	return n.stats
 }
 
+// sortedMetaIDs lists the node's mapped page ids in ascending order. Caller
+// holds n.mu.
+func (n *Node) sortedMetaIDs() []uint64 {
+	ids := make([]uint64, 0, len(n.meta))
+	for id := range n.meta {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
 // flagOffsets reports the absolute device offsets of slot's flag words.
 func (n *Node) flagOffsets(slot int) flagAddrs {
 	base := n.flags.Base() + int64(slot)*flagEntrySize
@@ -107,23 +119,30 @@ func (n *Node) ensurePage(clk *simclock.Clock, pageID uint64) (*pmeta, error) {
 	}
 	n.mu.Lock()
 	if len(n.freeSlots) == 0 {
-		// Reclaim: scan for an entry whose removal flag is set (the paper's
-		// background metadata recycler, run inline here).
-		for id, om := range n.meta {
+		// Reclaim: scan (in page-id order, for deterministic replay) for an
+		// entry whose removal flag is set — the paper's background metadata
+		// recycler, run inline here.
+		reclaimed := false
+		for _, id := range n.sortedMetaIDs() {
+			om := n.meta[id]
 			fa := n.flagOffsets(om.slot)
 			if rm, _ := n.fusion.dev.Load64Raw(fa.removal); rm != 0 {
 				delete(n.meta, id)
 				n.freeSlots = append(n.freeSlots, om.slot)
+				reclaimed = true
 				break
 			}
 		}
-		// Still full: evict an arbitrary entry. Dropping local metadata is
+		// Still full: evict the lowest-id entry. Dropping local metadata is
 		// always safe — the mapping is re-fetched on next use, and the
 		// install-time invalidation below discards any stale cached lines.
-		for id, om := range n.meta {
-			delete(n.meta, id)
-			n.freeSlots = append(n.freeSlots, om.slot)
-			break
+		if !reclaimed {
+			for _, id := range n.sortedMetaIDs() {
+				om := n.meta[id]
+				delete(n.meta, id)
+				n.freeSlots = append(n.freeSlots, om.slot)
+				break
+			}
 		}
 		if len(n.freeSlots) == 0 {
 			n.mu.Unlock()

@@ -21,6 +21,7 @@ import (
 	"container/list"
 	"fmt"
 
+	"polarcxlmem/internal/fault"
 	"polarcxlmem/internal/simclock"
 	"polarcxlmem/internal/simmem"
 )
@@ -62,6 +63,7 @@ type Cache struct {
 	lru   *list.List // front = most recent
 	stats Stats
 	link  *simclock.Resource // optional per-host interconnect charged per fill/write-back
+	inj   fault.Injector     // optional fault injector; may be nil
 	// domain, when set, provides CXL 3.0 hardware coherency across the
 	// domain's caches (see domain.go). Nil = CXL 2.0 behaviour: no
 	// inter-host coherency, software protocol required.
@@ -93,6 +95,16 @@ func (c *Cache) unlock() { <-c.mu }
 // link) that is charged one line of traffic on every fill and write-back.
 // Must be called before the cache is shared across goroutines.
 func (c *Cache) SetLink(link *simclock.Resource) { c.link = link }
+
+// SetInjector installs (or, with nil, removes) the fault injector consulted
+// at the cache's clflush and eviction write-back points. If the injector
+// also implements fault.Orderer, each Flush call asks it whether to process
+// its lines in reverse address order.
+func (c *Cache) SetInjector(inj fault.Injector) {
+	c.lock()
+	c.inj = inj
+	c.unlock()
+}
 
 // Name reports the cache name.
 func (c *Cache) Name() string { return c.name }
@@ -141,8 +153,19 @@ func (c *Cache) evictIfFull(clk *simclock.Clock) error {
 		}
 		victim := e.Value.(*line)
 		if victim.dirty {
-			if err := c.writeBack(clk, victim); err != nil {
-				return err
+			skip := false
+			if c.inj != nil {
+				if err := c.inj.Point(fault.OpWriteBack, LineSize); err != nil {
+					if !fault.IsDrop(err) {
+						return err
+					}
+					skip = true // dropped write-back: the dirty data is lost
+				}
+			}
+			if !skip {
+				if err := c.writeBack(clk, victim); err != nil {
+					return err
+				}
 			}
 		}
 		c.lru.Remove(e)
@@ -311,11 +334,35 @@ func (c *Cache) Flush(clk *simclock.Clock, region *simmem.Region, off int64, n i
 	dev := region.Device()
 	addr := region.Base() + off
 	first, last := lineRange(addr, n)
-	for la := first; la <= last; la += LineSize {
+	rev := false
+	if c.inj != nil {
+		if err := c.inj.Point(fault.OpFlushRange, int64(n)); err != nil {
+			if fault.IsDrop(err) {
+				return nil // the whole clflush range is silently lost
+			}
+			return err
+		}
+		if ord, ok := c.inj.(fault.Orderer); ok {
+			rev = ord.ReverseFlush()
+		}
+	}
+	la, end, step := first, last+LineSize, int64(LineSize)
+	if rev {
+		la, end, step = last, first-LineSize, -LineSize
+	}
+	for ; la != end; la += step {
 		k := lineKey{dev, la}
 		ln, ok := c.lines[k]
 		if !ok {
 			continue
+		}
+		if c.inj != nil {
+			if err := c.inj.Point(fault.OpFlushLine, LineSize); err != nil {
+				if fault.IsDrop(err) {
+					continue // lost clflush: the line stays cached and dirty
+				}
+				return err
+			}
 		}
 		if ln.dirty {
 			if err := c.writeBack(clk, ln); err != nil {

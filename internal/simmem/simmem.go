@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"sync"
 
+	"polarcxlmem/internal/fault"
 	"polarcxlmem/internal/simclock"
 )
 
@@ -67,6 +68,7 @@ type Device struct {
 	data []byte
 	prof Profile
 	bw   *simclock.Resource // optional shared bandwidth; may be nil
+	inj  fault.Injector     // optional fault injector; may be nil
 }
 
 // NewDevice allocates a device of size bytes with the given timing profile.
@@ -89,10 +91,29 @@ func (d *Device) Size() int64 { return int64(len(d.data)) }
 // Profile reports the device timing profile.
 func (d *Device) Profile() Profile { return d.prof }
 
+// SetInjector installs (or, with nil, removes) the fault injector consulted
+// on every raw access to this device. Every costed accessor funnels through
+// the raw paths, so one injector covers WriteAt, Store64, and CPU-cache
+// write-backs alike.
+func (d *Device) SetInjector(inj fault.Injector) {
+	d.mu.Lock()
+	d.inj = inj
+	d.mu.Unlock()
+}
+
+func (d *Device) injector() fault.Injector {
+	d.mu.RLock()
+	inj := d.inj
+	d.mu.RUnlock()
+	return inj
+}
+
 // Region returns a bounds-checked view of [off, off+size).
+// The bounds test is written subtraction-form so a huge off+size cannot
+// overflow int64 and pass.
 func (d *Device) Region(off, size int64) (*Region, error) {
-	if off < 0 || size < 0 || off+size > int64(len(d.data)) {
-		return nil, fmt.Errorf("simmem: region [%d,%d) out of device %q bounds [0,%d)", off, off+size, d.name, len(d.data))
+	if off < 0 || size < 0 || off > int64(len(d.data)) || size > int64(len(d.data))-off {
+		return nil, fmt.Errorf("simmem: region [%d,+%d) out of device %q bounds [0,%d)", off, size, d.name, len(d.data))
 	}
 	return &Region{dev: d, off: off, size: size}, nil
 }
@@ -120,16 +141,18 @@ func (r *Region) Base() int64 { return r.off }
 func (r *Region) Device() *Device { return r.dev }
 
 // SubRegion returns a narrower view of [off, off+size) within r.
+// Subtraction-form bounds test: off+size on two huge operands must not
+// overflow into a passing value.
 func (r *Region) SubRegion(off, size int64) (*Region, error) {
-	if off < 0 || size < 0 || off+size > r.size {
-		return nil, fmt.Errorf("simmem: subregion [%d,%d) out of region bounds [0,%d)", off, off+size, r.size)
+	if off < 0 || size < 0 || off > r.size || size > r.size-off {
+		return nil, fmt.Errorf("simmem: subregion [%d,+%d) out of region bounds [0,%d)", off, size, r.size)
 	}
 	return &Region{dev: r.dev, off: r.off + off, size: size}, nil
 }
 
 func (r *Region) check(off int64, n int) error {
-	if off < 0 || int64(n) < 0 || off+int64(n) > r.size {
-		return fmt.Errorf("simmem: access [%d,%d) out of region bounds [0,%d) on %q", off, off+int64(n), r.size, r.dev.name)
+	if off < 0 || int64(n) < 0 || off > r.size || int64(n) > r.size-off {
+		return fmt.Errorf("simmem: access [%d,+%d) out of region bounds [0,%d) on %q", off, n, r.size, r.dev.name)
 	}
 	return nil
 }
@@ -139,6 +162,14 @@ func (r *Region) check(off int64, n int) error {
 func (r *Region) ReadRaw(off int64, buf []byte) error {
 	if err := r.check(off, len(buf)); err != nil {
 		return err
+	}
+	if inj := r.dev.injector(); inj != nil {
+		if err := inj.Point(fault.OpMemRead, int64(len(buf))); err != nil {
+			if fault.IsDrop(err) {
+				return nil // dropped read: buf keeps whatever it held
+			}
+			return err
+		}
 	}
 	r.dev.mu.RLock()
 	copy(buf, r.dev.data[r.off+off:])
@@ -150,6 +181,14 @@ func (r *Region) ReadRaw(off int64, buf []byte) error {
 func (r *Region) WriteRaw(off int64, data []byte) error {
 	if err := r.check(off, len(data)); err != nil {
 		return err
+	}
+	if inj := r.dev.injector(); inj != nil {
+		if err := inj.Point(fault.OpMemWrite, int64(len(data))); err != nil {
+			if fault.IsDrop(err) {
+				return nil // silently lost write: device keeps the old bytes
+			}
+			return err
+		}
 	}
 	r.dev.mu.Lock()
 	copy(r.dev.data[r.off+off:], data)

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"sync"
 
+	"polarcxlmem/internal/fault"
 	"polarcxlmem/internal/simclock"
 )
 
@@ -28,6 +29,7 @@ type Fabric struct {
 	mu        sync.RWMutex
 	endpoints map[string]map[string]Handler // endpoint -> method -> handler
 	calls     int64
+	inj       fault.Injector // optional fault injector; may be nil
 }
 
 // New returns a fabric whose calls cost rttNanos round-trip latency. bw, if
@@ -61,6 +63,17 @@ func (f *Fabric) Deregister(endpoint string) {
 	f.mu.Unlock()
 }
 
+// SetInjector installs (or, with nil, removes) the fault injector consulted
+// on every Call. Injected errors are returned to the caller before the
+// handler runs, as a failed send would be; a dropped send is reported as a
+// send failure too, because the fabric is synchronous and a silently lost
+// request can only manifest to the caller as a timeout.
+func (f *Fabric) SetInjector(inj fault.Injector) {
+	f.mu.Lock()
+	f.inj = inj
+	f.mu.Unlock()
+}
+
 // Call invokes method on endpoint, charging the fabric RTT (and reqBytes on
 // the bandwidth resource, when attached) to clk before the handler runs.
 func (f *Fabric) Call(clk *simclock.Clock, endpoint, method string, reqBytes int64, req any) (any, error) {
@@ -70,7 +83,16 @@ func (f *Fabric) Call(clk *simclock.Clock, endpoint, method string, reqBytes int
 	if ok {
 		h = ep[method]
 	}
+	inj := f.inj
 	f.mu.RUnlock()
+	if inj != nil {
+		if err := inj.Point(fault.OpNetSend, reqBytes); err != nil {
+			if fault.IsDrop(err) {
+				return nil, fmt.Errorf("simnet: %s.%s request lost: %w", endpoint, method, err)
+			}
+			return nil, err
+		}
+	}
 	if h == nil {
 		return nil, fmt.Errorf("simnet: no handler for %s.%s", endpoint, method)
 	}

@@ -27,9 +27,11 @@ type Sysbench struct {
 
 // NewSysbench creates ntables sbtest tables with rows rows each and loads
 // them (bulk transactions + a final checkpoint, like sysbench prepare).
-func NewSysbench(clk *simclock.Clock, eng *txn.Engine, ntables int, rows int64) (*Sysbench, error) {
+// seed fixes the generated row payloads, so sweep runs and property tests
+// can vary the loaded dataset deterministically.
+func NewSysbench(clk *simclock.Clock, eng *txn.Engine, ntables int, rows int64, seed int64) (*Sysbench, error) {
 	s := &Sysbench{eng: eng, rows: rows}
-	rng := rand.New(rand.NewSource(1))
+	rng := rand.New(rand.NewSource(seed))
 	for i := 0; i < ntables; i++ {
 		tr, err := eng.CreateTable(clk, fmt.Sprintf("sbtest%d", i+1))
 		if err != nil {

@@ -30,7 +30,7 @@ func newEngine(t *testing.T) (*txn.Engine, *simclock.Clock) {
 
 func TestSysbenchLoadAndMixes(t *testing.T) {
 	e, clk := newEngine(t)
-	s, err := NewSysbench(clk, e, 2, 500)
+	s, err := NewSysbench(clk, e, 2, 500, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +87,7 @@ func TestSysbenchLoadAndMixes(t *testing.T) {
 
 func TestSysbenchCPUAccounting(t *testing.T) {
 	e, clk := newEngine(t)
-	s, err := NewSysbench(clk, e, 1, 100)
+	s, err := NewSysbench(clk, e, 1, 100, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
