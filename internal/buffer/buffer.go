@@ -12,6 +12,17 @@
 // internal/core and satisfies the same Pool interface, so the identical
 // B+tree and transaction engine run on all three.
 //
+// Since the frametab refactor, every pool in the repo is a thin FrameStore
+// backend over internal/frametab: the sharded page index, pin/latch/clock
+// machinery, atomic statistics, and the generic Get / Create / GetOrCreate
+// flows live there once; a pool contributes only its medium's data movement
+// (DRAM slab, RDMA remote tier, CXL block, shared DBP slot). Mode and Stats
+// below are aliases of the frametab types so the engine-facing API is
+// unchanged. The frame-table shard count is a frametab.Config knob; its
+// default suits the test workloads, and the sorted-iteration rule that
+// keeps fault-sweep replay deterministic is documented in the frametab
+// package comment.
+//
 // Latching: frames carry a page latch for functional mutual exclusion among
 // a node's worker goroutines. Latch *wait time* in the performance figures
 // is modelled by the closed-network solver (internal/perf), not by
@@ -19,16 +30,17 @@
 package buffer
 
 import (
+	"polarcxlmem/internal/frametab"
 	"polarcxlmem/internal/simclock"
 )
 
-// Mode is a latch mode.
-type Mode int
+// Mode is a latch mode (alias of frametab.Mode).
+type Mode = frametab.Mode
 
 // Latch modes.
 const (
-	Read Mode = iota
-	Write
+	Read  = frametab.Read
+	Write = frametab.Write
 )
 
 // Frame is a latched, pinned buffer page. Its accessor methods (ReadAt /
@@ -51,16 +63,9 @@ type Frame interface {
 // (write-ahead rule).
 type FlushBarrier func(clk *simclock.Clock, pageLSN uint64)
 
-// Stats counts pool events.
-type Stats struct {
-	Hits          int64
-	Misses        int64
-	Evictions     int64
-	StorageReads  int64
-	StorageWrites int64
-	RemoteReads   int64 // RDMA page fetches (tiered pool)
-	RemoteWrites  int64 // RDMA page pushes (tiered pool)
-}
+// Stats counts pool events (alias of frametab.Stats; pools maintain the
+// live counters with sync/atomic adds so a Stats() snapshot can never tear).
+type Stats = frametab.Stats
 
 // Pool is a buffer pool.
 type Pool interface {

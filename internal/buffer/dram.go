@@ -1,39 +1,31 @@
 package buffer
 
 import (
-	"container/list"
 	"fmt"
-	"sync"
 
+	"polarcxlmem/internal/frametab"
 	"polarcxlmem/internal/page"
 	"polarcxlmem/internal/simclock"
 	"polarcxlmem/internal/simmem"
 	"polarcxlmem/internal/storage"
 )
 
-// dramFrame is one resident page in a DRAM pool (also reused as the local
-// tier of TieredPool).
-type dramFrame struct {
-	id    uint64
-	img   []byte
-	dirty bool
-	latch sync.RWMutex
-	pins  int
-	elem  *list.Element
+// DRAMPool is the conventional local buffer pool: pages cached in host DRAM
+// in front of shared storage. It is a frametab table over a dramStore — the
+// store moves whole pages between the DRAM slab and storage; the table owns
+// the index, pins, latches, eviction clock, and statistics.
+type DRAMPool struct {
+	store   *storage.Store
+	prof    simmem.Profile
+	tab     *frametab.Table
+	barrier FlushBarrier
 }
 
-// DRAMPool is the conventional local buffer pool: pages cached in host DRAM
-// in front of shared storage.
-type DRAMPool struct {
-	store    *storage.Store
-	prof     simmem.Profile
-	capacity int
+var _ Pool = (*DRAMPool)(nil)
 
-	mu      sync.Mutex
-	frames  map[uint64]*dramFrame
-	lru     *list.List // front = MRU
-	barrier FlushBarrier
-	stats   Stats
+// dramStore is DRAMPool's frametab backend: slots are page images.
+type dramStore struct {
+	pool *DRAMPool
 }
 
 // NewDRAMPool returns a pool of capacityPages frames over store, charging
@@ -42,136 +34,106 @@ func NewDRAMPool(store *storage.Store, capacityPages int, prof simmem.Profile) *
 	if capacityPages <= 0 {
 		panic(fmt.Sprintf("buffer: DRAM pool needs positive capacity, got %d", capacityPages))
 	}
-	return &DRAMPool{
-		store:    store,
-		prof:     prof,
-		capacity: capacityPages,
-		frames:   make(map[uint64]*dramFrame),
-		lru:      list.New(),
+	p := &DRAMPool{store: store, prof: prof}
+	p.tab = frametab.New(frametab.Config{
+		Capacity: capacityPages,
+		Store:    &dramStore{pool: p},
+		NotFound: storage.ErrNotFound,
+	})
+	return p
+}
+
+// Fetch implements frametab.FrameStore: a whole-page storage read.
+func (s *dramStore) Fetch(clk *simclock.Clock, id uint64) (any, bool, error) {
+	p := s.pool
+	img := make([]byte, page.Size)
+	p.tab.Counters.StorageReads.Add(1)
+	if err := p.store.ReadPage(clk, id, img); err != nil {
+		return nil, false, err
 	}
+	return img, false, nil
+}
+
+// Create implements frametab.FrameStore: a zeroed fresh page.
+func (s *dramStore) Create(clk *simclock.Clock, id uint64) (any, error) {
+	return make([]byte, page.Size), nil
+}
+
+// Evict implements frametab.EvictStore: dirty victims are written back
+// under the write-ahead barrier; clean ones just vanish.
+func (s *dramStore) Evict(clk *simclock.Clock, id uint64, slot any, dirty bool) error {
+	if !dirty {
+		return nil
+	}
+	p := s.pool
+	img := slot.([]byte)
+	if p.barrier != nil {
+		p.barrier(clk, page.RawLSN(img))
+	}
+	if err := p.store.WritePage(clk, id, img); err != nil {
+		return err
+	}
+	p.tab.Counters.StorageWrites.Add(1)
+	return nil
 }
 
 // SetFlushBarrier implements Pool.
 func (p *DRAMPool) SetFlushBarrier(fb FlushBarrier) { p.barrier = fb }
 
 // Stats implements Pool.
-func (p *DRAMPool) Stats() Stats {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.stats
-}
+func (p *DRAMPool) Stats() Stats { return p.tab.Stats() }
 
 // Resident implements Pool.
-func (p *DRAMPool) Resident() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return len(p.frames)
-}
+func (p *DRAMPool) Resident() int { return p.tab.Resident() }
 
-// flushFrame writes f's image to storage (caller holds no pool lock; f must
-// be latched or otherwise stable).
-func (p *DRAMPool) flushFrame(clk *simclock.Clock, f *dramFrame) error {
-	if p.barrier != nil {
-		p.barrier(clk, page.RawLSN(f.img))
-	}
-	if err := p.store.WritePage(clk, f.id, f.img); err != nil {
-		return err
-	}
-	f.dirty = false
-	p.mu.Lock()
-	p.stats.StorageWrites++
-	p.mu.Unlock()
-	return nil
-}
-
-// evictOne removes one unpinned LRU victim, writing it back if dirty.
-// Called with p.mu held; releases and reacquires it around I/O.
-func (p *DRAMPool) evictOne(clk *simclock.Clock) error {
-	for e := p.lru.Back(); e != nil; e = e.Prev() {
-		f := e.Value.(*dramFrame)
-		if f.pins > 0 {
-			continue
-		}
-		p.lru.Remove(e)
-		delete(p.frames, f.id)
-		p.stats.Evictions++
-		if f.dirty {
-			p.mu.Unlock()
-			err := p.flushFrame(clk, f)
-			p.mu.Lock()
-			return err
-		}
-		return nil
-	}
-	return fmt.Errorf("buffer: all %d frames pinned, cannot evict", len(p.frames))
-}
+// PinnedFrames reports frames with live pins (conformance leak check).
+func (p *DRAMPool) PinnedFrames() int { return p.tab.PinnedFrames() }
 
 // Get implements Pool.
 func (p *DRAMPool) Get(clk *simclock.Clock, id uint64, mode Mode) (Frame, error) {
-	p.mu.Lock()
-	f, ok := p.frames[id]
-	if ok {
-		f.pins++
-		p.lru.MoveToFront(f.elem)
-		p.stats.Hits++
-		p.mu.Unlock()
-	} else {
-		p.stats.Misses++
-		for len(p.frames) >= p.capacity {
-			if err := p.evictOne(clk); err != nil {
-				p.mu.Unlock()
-				return nil, err
-			}
-		}
-		f = &dramFrame{id: id, img: make([]byte, page.Size), pins: 1}
-		f.elem = p.lru.PushFront(f)
-		p.frames[id] = f
-		p.stats.StorageReads++
-		p.mu.Unlock()
-		if err := p.store.ReadPage(clk, id, f.img); err != nil {
-			p.mu.Lock()
-			p.lru.Remove(f.elem)
-			delete(p.frames, id)
-			p.mu.Unlock()
-			return nil, err
-		}
+	f, err := p.tab.Get(clk, id, mode)
+	if err != nil {
+		return nil, err
 	}
-	lockFrame(&f.latch, mode)
-	return &boundFrame{f: f, pool: p, clk: clk, mode: mode}, nil
+	return &boundFrame{fr: f, tab: p.tab, prof: &p.prof, clk: clk, mode: mode}, nil
 }
 
 // NewPage implements Pool.
 func (p *DRAMPool) NewPage(clk *simclock.Clock) (Frame, error) {
-	id := p.store.AllocPageID()
-	p.mu.Lock()
-	for len(p.frames) >= p.capacity {
-		if err := p.evictOne(clk); err != nil {
-			p.mu.Unlock()
-			return nil, err
-		}
+	f, err := p.tab.Create(clk, p.store.AllocPageID())
+	if err != nil {
+		return nil, err
 	}
-	f := &dramFrame{id: id, img: make([]byte, page.Size), pins: 1, dirty: true}
-	f.elem = p.lru.PushFront(f)
-	p.frames[id] = f
-	p.mu.Unlock()
-	lockFrame(&f.latch, Write)
-	return &boundFrame{f: f, pool: p, clk: clk, mode: Write}, nil
+	return &boundFrame{fr: f, tab: p.tab, prof: &p.prof, clk: clk, mode: Write}, nil
 }
 
-// FlushAll implements Pool.
-func (p *DRAMPool) FlushAll(clk *simclock.Clock) error {
-	p.mu.Lock()
-	var dirty []*dramFrame
-	for _, f := range p.frames {
-		if f.dirty {
-			dirty = append(dirty, f)
-		}
+// GetOrCreate write-latches page id, materializing a zeroed frame when the
+// page has no durable image yet — the recovery redo path needs this for
+// pages that were created after the last checkpoint (their PageInit record
+// is in the log, not on storage).
+func (p *DRAMPool) GetOrCreate(clk *simclock.Clock, id uint64) (Frame, error) {
+	f, err := p.tab.GetOrCreate(clk, id)
+	if err != nil {
+		return nil, err
 	}
-	p.mu.Unlock()
-	for _, f := range dirty {
-		f.latch.RLock()
-		err := p.flushFrame(clk, f)
-		f.latch.RUnlock()
+	return &boundFrame{fr: f, tab: p.tab, prof: &p.prof, clk: clk, mode: Write}, nil
+}
+
+// FlushAll implements Pool. The dirty set comes back sorted by page id, so
+// checkpoint I/O runs in one canonical order (fault-plan determinism).
+func (p *DRAMPool) FlushAll(clk *simclock.Clock) error {
+	for _, fr := range p.tab.Snapshot(true) {
+		fr.Lock(Read)
+		img := fr.Slot().([]byte)
+		if p.barrier != nil {
+			p.barrier(clk, page.RawLSN(img))
+		}
+		err := p.store.WritePage(clk, fr.ID(), img)
+		if err == nil {
+			fr.ClearDirty()
+			p.tab.Counters.StorageWrites.Add(1)
+		}
+		fr.Unlock(Read)
 		if err != nil {
 			return err
 		}
@@ -179,80 +141,56 @@ func (p *DRAMPool) FlushAll(clk *simclock.Clock) error {
 	return nil
 }
 
-func lockFrame(l *sync.RWMutex, mode Mode) {
-	if mode == Write {
-		l.Lock()
-	} else {
-		l.RLock()
-	}
-}
-
-func unlockFrame(l *sync.RWMutex, mode Mode) {
-	if mode == Write {
-		l.Unlock()
-	} else {
-		l.RUnlock()
-	}
-}
-
-// boundFrame binds a dramFrame to a worker clock and latch mode.
+// boundFrame binds a frametab frame holding a []byte image to a worker
+// clock and latch mode (shared by DRAMPool and TieredPool).
 type boundFrame struct {
-	f        *dramFrame
-	pool     *DRAMPool // may be nil when embedded by TieredPool
-	tiered   *TieredPool
+	fr       *frametab.Frame
+	tab      *frametab.Table
+	prof     *simmem.Profile
 	clk      *simclock.Clock
 	mode     Mode
 	released bool
 }
 
 // ID implements Frame.
-func (b *boundFrame) ID() uint64 { return b.f.id }
+func (b *boundFrame) ID() uint64 { return b.fr.ID() }
 
 // MarkDirty implements Frame.
-func (b *boundFrame) MarkDirty() { b.f.dirty = true }
-
-func (b *boundFrame) prof() simmem.Profile {
-	if b.pool != nil {
-		return b.pool.prof
-	}
-	return b.tiered.prof
-}
+func (b *boundFrame) MarkDirty() { b.fr.MarkDirty() }
 
 // ReadAt implements page.Accessor with local-DRAM costs.
 func (b *boundFrame) ReadAt(off int, buf []byte) error {
-	if off < 0 || off+len(buf) > len(b.f.img) {
+	img := b.fr.Slot().([]byte)
+	if off < 0 || off+len(buf) > len(img) {
 		return fmt.Errorf("buffer: read [%d,%d) out of page bounds", off, off+len(buf))
 	}
-	copy(buf, b.f.img[off:])
-	b.clk.Advance(b.prof().ReadCost(len(buf)))
+	copy(buf, img[off:])
+	b.clk.Advance(b.prof.ReadCost(len(buf)))
 	return nil
 }
 
-// WriteAt implements page.Accessor with local-DRAM costs.
+// WriteAt implements page.Accessor with local-DRAM costs. Writes require
+// the write latch — the same contract the CXL and shared pools enforce.
 func (b *boundFrame) WriteAt(off int, data []byte) error {
-	if off < 0 || off+len(data) > len(b.f.img) {
+	if b.mode != Write {
+		return fmt.Errorf("buffer: write to page %d under a read latch", b.fr.ID())
+	}
+	img := b.fr.Slot().([]byte)
+	if off < 0 || off+len(data) > len(img) {
 		return fmt.Errorf("buffer: write [%d,%d) out of page bounds", off, off+len(data))
 	}
-	copy(b.f.img[off:], data)
-	b.clk.Advance(b.prof().WriteCost(len(data)))
+	copy(img[off:], data)
+	b.clk.Advance(b.prof.WriteCost(len(data)))
 	return nil
 }
 
 // Release implements Frame.
 func (b *boundFrame) Release() error {
 	if b.released {
-		return fmt.Errorf("buffer: double release of page %d", b.f.id)
+		return fmt.Errorf("buffer: double release of page %d", b.fr.ID())
 	}
 	b.released = true
-	unlockFrame(&b.f.latch, b.mode)
-	var mu *sync.Mutex
-	if b.pool != nil {
-		mu = &b.pool.mu
-	} else {
-		mu = &b.tiered.mu
-	}
-	mu.Lock()
-	b.f.pins--
-	mu.Unlock()
+	b.fr.Unlock(b.mode)
+	b.tab.Unpin(b.fr)
 	return nil
 }

@@ -1,67 +1,20 @@
 package buffer
 
 import (
-	"errors"
-
-	"polarcxlmem/internal/page"
 	"polarcxlmem/internal/simclock"
-	"polarcxlmem/internal/storage"
 )
 
-// GetOrCreate write-latches page id, materializing a zeroed frame when the
-// page has no durable image yet — the recovery redo path needs this for
-// pages that were created after the last checkpoint (their PageInit record
-// is in the log, not on storage).
-func (p *DRAMPool) GetOrCreate(clk *simclock.Clock, id uint64) (Frame, error) {
-	f, err := p.Get(clk, id, Write)
-	if err == nil {
-		return f, nil
-	}
-	if !errors.Is(err, storage.ErrNotFound) {
-		return nil, err
-	}
-	p.mu.Lock()
-	for len(p.frames) >= p.capacity {
-		if err := p.evictOne(clk); err != nil {
-			p.mu.Unlock()
-			return nil, err
-		}
-	}
-	fr := &dramFrame{id: id, img: make([]byte, page.Size), pins: 1, dirty: true}
-	fr.elem = p.lru.PushFront(fr)
-	p.frames[id] = fr
-	p.mu.Unlock()
-	lockFrame(&fr.latch, Write)
-	return &boundFrame{f: fr, pool: p, clk: clk, mode: Write}, nil
-}
-
-// GetOrCreate is the TieredPool recovery variant of Get: a page absent from
-// both the remote tier and storage materializes as a zeroed local frame.
-func (p *TieredPool) GetOrCreate(clk *simclock.Clock, id uint64) (Frame, error) {
-	f, err := p.Get(clk, id, Write)
-	if err == nil {
-		return f, nil
-	}
-	if !errors.Is(err, storage.ErrNotFound) {
-		return nil, err
-	}
-	p.mu.Lock()
-	for len(p.frames) >= p.localCapacity {
-		if err := p.evictOne(clk); err != nil {
-			p.mu.Unlock()
-			return nil, err
-		}
-	}
-	fr := &dramFrame{id: id, img: make([]byte, page.Size), pins: 1, dirty: true}
-	fr.elem = p.lru.PushFront(fr)
-	p.frames[id] = fr
-	p.mu.Unlock()
-	lockFrame(&fr.latch, Write)
-	return &boundFrame{f: fr, tiered: p, clk: clk, mode: Write}, nil
-}
-
-// Creator is the optional pool capability recovery relies on.
+// Creator is the optional pool capability recovery relies on: GetOrCreate
+// write-latches a page, materializing a zeroed frame when the page has no
+// durable image yet. Every pool in the repo implements it through the
+// generic frametab.Table.GetOrCreate flow (the per-pool copies this file
+// used to hold now live in the shared substrate).
 type Creator interface {
 	Pool
 	GetOrCreate(clk *simclock.Clock, id uint64) (Frame, error)
 }
+
+var (
+	_ Creator = (*DRAMPool)(nil)
+	_ Creator = (*TieredPool)(nil)
+)

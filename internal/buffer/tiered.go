@@ -1,10 +1,11 @@
 package buffer
 
 import (
-	"container/list"
 	"fmt"
+	"sort"
 	"sync"
 
+	"polarcxlmem/internal/frametab"
 	"polarcxlmem/internal/page"
 	"polarcxlmem/internal/rdma"
 	"polarcxlmem/internal/simclock"
@@ -28,19 +29,27 @@ import (
 //
 // The paper's Figure 1 and the pooling experiments (§4.2) measure exactly
 // this traffic against the NIC's 12 GB/s.
+//
+// Structurally the pool is a frametab table over a tieredStore: the store
+// contributes the two-tier page movement, the table everything else.
 type TieredPool struct {
-	store  *storage.Store
-	remote *RemoteMemory
-	nic    *rdma.NIC
-	prof   simmem.Profile
+	store   *storage.Store
+	remote  *RemoteMemory
+	nic     *rdma.NIC
+	prof    simmem.Profile
+	tab     *frametab.Table
+	tst     *tieredStore
+	barrier FlushBarrier
+}
 
-	localCapacity int
+var _ Pool = (*TieredPool)(nil)
+
+// tieredStore is TieredPool's frametab backend: slots are page images; the
+// store tracks which remote copies are newer than their storage image.
+type tieredStore struct {
+	pool *TieredPool
 
 	mu          sync.Mutex
-	frames      map[uint64]*dramFrame
-	lru         *list.List
-	barrier     FlushBarrier
-	stats       Stats
 	remoteDirty map[uint64]bool // remote copy newer than the storage image
 }
 
@@ -51,35 +60,102 @@ func NewTieredPool(store *storage.Store, remote *RemoteMemory, nic *rdma.NIC, lo
 	if localCapacity <= 0 {
 		panic(fmt.Sprintf("buffer: tiered pool needs positive local capacity, got %d", localCapacity))
 	}
-	return &TieredPool{
-		store:         store,
-		remote:        remote,
-		nic:           nic,
-		prof:          prof,
-		localCapacity: localCapacity,
-		frames:        make(map[uint64]*dramFrame),
-		lru:           list.New(),
-		remoteDirty:   make(map[uint64]bool),
+	p := &TieredPool{store: store, remote: remote, nic: nic, prof: prof}
+	p.tst = &tieredStore{pool: p, remoteDirty: make(map[uint64]bool)}
+	p.tab = frametab.New(frametab.Config{
+		Capacity: localCapacity,
+		Store:    p.tst,
+		NotFound: storage.ErrNotFound,
+	})
+	return p
+}
+
+func (s *tieredStore) remoteDirtyGet(id uint64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.remoteDirty[id]
+}
+
+func (s *tieredStore) remoteDirtySet(id uint64, v bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if v {
+		s.remoteDirty[id] = true
+	} else {
+		delete(s.remoteDirty, id)
 	}
+}
+
+// Fetch implements frametab.FrameStore: remote tier first, then storage
+// (populating the remote tier on the way in).
+func (s *tieredStore) Fetch(clk *simclock.Clock, id uint64) (any, bool, error) {
+	p := s.pool
+	img := make([]byte, page.Size)
+	if p.remote.Has(id) {
+		// Full-page RDMA read: the read amplification under measurement.
+		p.tab.Counters.RemoteReads.Add(1)
+		if err := p.remote.Read(clk, p.nic, id, img); err != nil {
+			return nil, false, err
+		}
+		// A dirty-evicted page is still newer than the storage image.
+		return img, s.remoteDirtyGet(id), nil
+	}
+	p.tab.Counters.StorageReads.Add(1)
+	if err := p.store.ReadPage(clk, id, img); err != nil {
+		return nil, false, err
+	}
+	// Populate the remote tier so later misses stay off storage.
+	p.tab.Counters.RemoteWrites.Add(1)
+	if err := p.remote.Write(clk, p.nic, id, img); err != nil {
+		return nil, false, err
+	}
+	return img, false, nil
+}
+
+// Create implements frametab.FrameStore: a zeroed fresh page (local only;
+// the remote tier sees it on eviction or checkpoint).
+func (s *tieredStore) Create(clk *simclock.Clock, id uint64) (any, error) {
+	return make([]byte, page.Size), nil
+}
+
+// Evict implements frametab.EvictStore. A clean page whose remote copy is
+// current needs no traffic; a dirty (or remote-absent) page is pushed
+// whole — the write amplification under measurement. Dirty pages go to the
+// REMOTE tier only (LegoBase-style); the storage write is deferred to the
+// next checkpoint. The write-ahead rule still applies: the redo protecting
+// the page must be durable before the only fresh copy leaves the local
+// buffer.
+func (s *tieredStore) Evict(clk *simclock.Clock, id uint64, slot any, dirty bool) error {
+	p := s.pool
+	img := slot.([]byte)
+	push := dirty || !p.remote.Has(id)
+	if push {
+		p.tab.Counters.RemoteWrites.Add(1)
+	}
+	if dirty {
+		s.remoteDirtySet(id, true)
+	}
+	if !push {
+		return nil
+	}
+	if dirty && p.barrier != nil {
+		p.barrier(clk, page.RawLSN(img))
+	}
+	return p.remote.Write(clk, p.nic, id, img)
 }
 
 // SetFlushBarrier implements Pool.
 func (p *TieredPool) SetFlushBarrier(fb FlushBarrier) { p.barrier = fb }
 
 // Stats implements Pool.
-func (p *TieredPool) Stats() Stats {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.stats
-}
+func (p *TieredPool) Stats() Stats { return p.tab.Stats() }
 
 // Resident implements Pool. Only LBP pages count as local memory overhead;
 // the remote tier is the disaggregated pool being compared against.
-func (p *TieredPool) Resident() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return len(p.frames)
-}
+func (p *TieredPool) Resident() int { return p.tab.Resident() }
+
+// PinnedFrames reports frames with live pins (conformance leak check).
+func (p *TieredPool) PinnedFrames() int { return p.tab.PinnedFrames() }
 
 // Remote exposes the remote tier (recovery reads surviving pages from it).
 func (p *TieredPool) Remote() *RemoteMemory { return p.remote }
@@ -87,159 +163,73 @@ func (p *TieredPool) Remote() *RemoteMemory { return p.remote }
 // NIC exposes the pool's NIC for bandwidth reporting.
 func (p *TieredPool) NIC() *rdma.NIC { return p.nic }
 
-// evictOne pushes one unpinned LRU victim to the remote tier (and through
-// to storage when dirty). Called with p.mu held; drops it around I/O.
-func (p *TieredPool) evictOne(clk *simclock.Clock) error {
-	for e := p.lru.Back(); e != nil; e = e.Prev() {
-		f := e.Value.(*dramFrame)
-		if f.pins > 0 {
-			continue
-		}
-		p.lru.Remove(e)
-		delete(p.frames, f.id)
-		p.stats.Evictions++
-		dirty := f.dirty
-		// A clean page whose remote copy is current needs no traffic; a
-		// dirty (or remote-absent) page is pushed whole — the write
-		// amplification under measurement. Dirty pages go to the REMOTE
-		// tier only (LegoBase-style); the storage write is deferred to the
-		// next checkpoint. The write-ahead rule still applies: the redo
-		// protecting the page must be durable before the only fresh copy
-		// leaves the local buffer.
-		push := dirty || !p.remote.Has(f.id)
-		if push {
-			p.stats.RemoteWrites++
-		}
-		if dirty {
-			p.remoteDirty[f.id] = true
-		}
-		p.mu.Unlock()
-		var err error
-		if push {
-			if dirty && p.barrier != nil {
-				p.barrier(clk, page.RawLSN(f.img))
-			}
-			err = p.remote.Write(clk, p.nic, f.id, f.img)
-		}
-		p.mu.Lock()
-		return err
-	}
-	return fmt.Errorf("buffer: all %d local frames pinned, cannot evict", len(p.frames))
-}
-
 // Get implements Pool.
 func (p *TieredPool) Get(clk *simclock.Clock, id uint64, mode Mode) (Frame, error) {
-	p.mu.Lock()
-	f, ok := p.frames[id]
-	if ok {
-		f.pins++
-		p.lru.MoveToFront(f.elem)
-		p.stats.Hits++
-		p.mu.Unlock()
-		lockFrame(&f.latch, mode)
-		return &boundFrame{f: f, tiered: p, clk: clk, mode: mode}, nil
-	}
-	p.stats.Misses++
-	for len(p.frames) >= p.localCapacity {
-		if err := p.evictOne(clk); err != nil {
-			p.mu.Unlock()
-			return nil, err
-		}
-	}
-	f = &dramFrame{id: id, img: make([]byte, page.Size), pins: 1}
-	f.elem = p.lru.PushFront(f)
-	p.frames[id] = f
-	fromRemote := p.remote.Has(id)
-	if fromRemote {
-		p.stats.RemoteReads++
-	} else {
-		p.stats.StorageReads++
-	}
-	p.mu.Unlock()
-
-	var err error
-	if fromRemote {
-		// Full-page RDMA read: the read amplification under measurement.
-		err = p.remote.Read(clk, p.nic, id, f.img)
-		p.mu.Lock()
-		f.dirty = p.remoteDirty[id] // still newer than the storage image
-		p.mu.Unlock()
-	} else {
-		err = p.store.ReadPage(clk, id, f.img)
-		if err == nil {
-			// Populate the remote tier so later misses stay off storage.
-			p.mu.Lock()
-			p.stats.RemoteWrites++
-			p.mu.Unlock()
-			err = p.remote.Write(clk, p.nic, id, f.img)
-		}
-	}
+	f, err := p.tab.Get(clk, id, mode)
 	if err != nil {
-		p.mu.Lock()
-		p.lru.Remove(f.elem)
-		delete(p.frames, id)
-		p.mu.Unlock()
 		return nil, err
 	}
-	lockFrame(&f.latch, mode)
-	return &boundFrame{f: f, tiered: p, clk: clk, mode: mode}, nil
+	return &boundFrame{fr: f, tab: p.tab, prof: &p.prof, clk: clk, mode: mode}, nil
 }
 
 // NewPage implements Pool.
 func (p *TieredPool) NewPage(clk *simclock.Clock) (Frame, error) {
-	id := p.store.AllocPageID()
-	p.mu.Lock()
-	for len(p.frames) >= p.localCapacity {
-		if err := p.evictOne(clk); err != nil {
-			p.mu.Unlock()
-			return nil, err
-		}
+	f, err := p.tab.Create(clk, p.store.AllocPageID())
+	if err != nil {
+		return nil, err
 	}
-	f := &dramFrame{id: id, img: make([]byte, page.Size), pins: 1, dirty: true}
-	f.elem = p.lru.PushFront(f)
-	p.frames[id] = f
-	p.mu.Unlock()
-	lockFrame(&f.latch, Write)
-	return &boundFrame{f: f, tiered: p, clk: clk, mode: Write}, nil
+	return &boundFrame{fr: f, tab: p.tab, prof: &p.prof, clk: clk, mode: Write}, nil
+}
+
+// GetOrCreate is the TieredPool recovery variant of Get: a page absent from
+// both the remote tier and storage materializes as a zeroed local frame.
+func (p *TieredPool) GetOrCreate(clk *simclock.Clock, id uint64) (Frame, error) {
+	f, err := p.tab.GetOrCreate(clk, id)
+	if err != nil {
+		return nil, err
+	}
+	return &boundFrame{fr: f, tab: p.tab, prof: &p.prof, clk: clk, mode: Write}, nil
 }
 
 // FlushAll implements Pool (the checkpointer): every dirty LBP page goes to
 // storage and refreshes its remote copy; remote-tier pages that are newer
 // than their storage image (dirty evictions) are fetched back over RDMA and
-// written to storage.
+// written to storage. Both passes run in page-id order — the frame snapshot
+// comes back sorted, and the remote-only set is sorted here — so checkpoint
+// I/O replays identically under a fault plan.
 func (p *TieredPool) FlushAll(clk *simclock.Clock) error {
-	p.mu.Lock()
-	var dirty []*dramFrame
-	for _, f := range p.frames {
-		if f.dirty {
-			dirty = append(dirty, f)
-		}
+	local := p.tab.Snapshot(true)
+	resident := make(map[uint64]bool, len(local))
+	for _, fr := range local {
+		resident[fr.ID()] = true
 	}
+	p.tst.mu.Lock()
 	var remoteOnly []uint64
-	for id := range p.remoteDirty {
-		if _, local := p.frames[id]; !local {
+	for id := range p.tst.remoteDirty {
+		if !resident[id] {
 			remoteOnly = append(remoteOnly, id)
 		}
 	}
-	p.mu.Unlock()
-	for _, f := range dirty {
-		f.latch.RLock()
+	p.tst.mu.Unlock()
+	sort.Slice(remoteOnly, func(i, j int) bool { return remoteOnly[i] < remoteOnly[j] })
+
+	for _, fr := range local {
+		fr.Lock(Read)
+		img := fr.Slot().([]byte)
 		if p.barrier != nil {
-			p.barrier(clk, page.RawLSN(f.img))
+			p.barrier(clk, page.RawLSN(img))
 		}
-		err := p.store.WritePage(clk, f.id, f.img)
+		err := p.store.WritePage(clk, fr.ID(), img)
 		if err == nil {
-			err = p.remote.Write(clk, p.nic, f.id, f.img)
+			err = p.remote.Write(clk, p.nic, fr.ID(), img)
 		}
 		if err == nil {
-			f.dirty = false
-			p.mu.Lock()
-			delete(p.remoteDirty, f.id)
-			p.stats.StorageWrites++
-			p.stats.RemoteWrites++
-			p.mu.Unlock()
+			fr.ClearDirty()
+			p.tst.remoteDirtySet(fr.ID(), false)
+			p.tab.Counters.StorageWrites.Add(1)
+			p.tab.Counters.RemoteWrites.Add(1)
 		}
-		f.latch.RUnlock()
+		fr.Unlock(Read)
 		if err != nil {
 			return err
 		}
@@ -249,19 +239,15 @@ func (p *TieredPool) FlushAll(clk *simclock.Clock) error {
 		if err := p.remote.Read(clk, p.nic, id, img); err != nil {
 			return err
 		}
-		p.mu.Lock()
-		p.stats.RemoteReads++
-		p.mu.Unlock()
+		p.tab.Counters.RemoteReads.Add(1)
 		if p.barrier != nil {
 			p.barrier(clk, page.RawLSN(img))
 		}
 		if err := p.store.WritePage(clk, id, img); err != nil {
 			return err
 		}
-		p.mu.Lock()
-		delete(p.remoteDirty, id)
-		p.stats.StorageWrites++
-		p.mu.Unlock()
+		p.tst.remoteDirtySet(id, false)
+		p.tab.Counters.StorageWrites.Add(1)
 	}
 	return nil
 }

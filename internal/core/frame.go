@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"polarcxlmem/internal/buffer"
+	"polarcxlmem/internal/frametab"
 	"polarcxlmem/internal/page"
 	"polarcxlmem/internal/simclock"
 )
@@ -15,20 +16,20 @@ import (
 type cxlFrame struct {
 	pool     *CXLPool
 	clk      *simclock.Clock
-	id       uint64
 	idx      int64
+	fr       *frametab.Frame
 	mode     buffer.Mode
 	released bool
 	wrote    bool
 }
 
 // ID implements buffer.Frame.
-func (f *cxlFrame) ID() uint64 { return f.id }
+func (f *cxlFrame) ID() uint64 { return f.fr.ID() }
 
 // ReadAt implements page.Accessor: a load from CXL through the CPU cache.
 func (f *cxlFrame) ReadAt(off int, buf []byte) error {
 	if f.released {
-		return fmt.Errorf("core: read on released frame of page %d", f.id)
+		return fmt.Errorf("core: read on released frame of page %d", f.fr.ID())
 	}
 	return f.pool.cache.Read(f.clk, f.pool.dataRegion(f.idx), int64(off), buf)
 }
@@ -37,23 +38,22 @@ func (f *cxlFrame) ReadAt(off int, buf []byte) error {
 // (write-back; published by the flush on release).
 func (f *cxlFrame) WriteAt(off int, data []byte) error {
 	if f.released {
-		return fmt.Errorf("core: write on released frame of page %d", f.id)
+		return fmt.Errorf("core: write on released frame of page %d", f.fr.ID())
 	}
 	if f.mode != buffer.Write {
-		return fmt.Errorf("core: write to page %d under a read latch", f.id)
+		return fmt.Errorf("core: write to page %d under a read latch", f.fr.ID())
 	}
 	f.wrote = true
 	return f.pool.cache.Write(f.clk, f.pool.dataRegion(f.idx), int64(off), data)
 }
 
 // MarkDirty implements buffer.Frame: records divergence from storage in the
-// crash-visible flags word (once; the mirror suppresses repeats).
+// crash-visible flags word (once; the frame's dirty bit suppresses repeats).
 func (f *cxlFrame) MarkDirty() {
-	st := &f.pool.blocks[f.idx-1]
-	if st.dirty {
+	if f.fr.Dirty() {
 		return
 	}
-	st.dirty = true
+	f.fr.MarkDirty()
 	f.pool.metaStore(f.clk, f.idx, mFlags, flagInUse|flagDirty)
 }
 
@@ -64,11 +64,10 @@ func (f *cxlFrame) MarkDirty() {
 // to PolarRecv.
 func (f *cxlFrame) Release() error {
 	if f.released {
-		return fmt.Errorf("core: double release of page %d", f.id)
+		return fmt.Errorf("core: double release of page %d", f.fr.ID())
 	}
 	f.released = true
 	p := f.pool
-	st := &p.blocks[f.idx-1]
 	if f.mode == buffer.Write {
 		if f.wrote {
 			// Read the page LSN through the cache (almost certainly hot).
@@ -87,12 +86,8 @@ func (f *cxlFrame) Release() error {
 			p.metaStore(f.clk, f.idx, mLSN, lsn)
 		}
 		p.metaStore(f.clk, f.idx, mLock, lockFree)
-		st.latch.Unlock()
-	} else {
-		st.latch.RUnlock()
 	}
-	p.mu.Lock()
-	st.pins--
-	p.mu.Unlock()
+	f.fr.Unlock(f.mode)
+	p.tab.Unpin(f.fr)
 	return nil
 }

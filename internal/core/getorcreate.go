@@ -1,55 +1,20 @@
 package core
 
 import (
-	"errors"
-
 	"polarcxlmem/internal/buffer"
-	"polarcxlmem/internal/page"
 	"polarcxlmem/internal/simclock"
-	"polarcxlmem/internal/storage"
 )
 
 // GetOrCreate write-latches page id, materializing a zeroed block when the
 // page has no durable image (recovery redo of post-checkpoint page
-// creations).
+// creations). The generic flow lives in frametab; cxlStore.Create supplies
+// the CXL side (zeroed block, durable metadata, in-use list splice).
 func (p *CXLPool) GetOrCreate(clk *simclock.Clock, id uint64) (buffer.Frame, error) {
-	f, err := p.Get(clk, id, buffer.Write)
-	if err == nil {
-		return f, nil
-	}
-	if !errors.Is(err, storage.ErrNotFound) {
+	f, err := p.tab.GetOrCreate(clk, id)
+	if err != nil {
 		return nil, err
 	}
-	p.mu.Lock()
-	idx, aerr := p.allocBlock(clk)
-	if aerr != nil {
-		p.mu.Unlock()
-		return nil, aerr
-	}
-	if werr := p.region.WriteRaw(dataOff(idx), make([]byte, page.Size)); werr != nil {
-		p.pushFree(clk, idx)
-		p.mu.Unlock()
-		return nil, werr
-	}
-	p.metaStore(clk, idx, mPageID, id)
-	p.metaStore(clk, idx, mLSN, 0)
-	p.metaStore(clk, idx, mFlags, flagInUse|flagDirty)
-	st := &p.blocks[idx-1]
-	st.dirty = true
-	st.pins = 1
-	st.lastTouch = p.epoch
-	if lerr := p.lruLockSet(clk); lerr != nil {
-		p.mu.Unlock()
-		return nil, lerr
-	}
-	if lerr := p.listPushFront(clk, idx); lerr != nil {
-		p.mu.Unlock()
-		return nil, lerr
-	}
-	p.lruLockClear(clk)
-	p.index[id] = idx
-	p.mu.Unlock()
-	return p.latchAndWrap(clk, id, idx, buffer.Write)
+	return &cxlFrame{pool: p, clk: clk, idx: f.Slot().(int64), fr: f, mode: buffer.Write}, nil
 }
 
 var _ buffer.Creator = (*CXLPool)(nil)

@@ -2,11 +2,12 @@ package core
 
 import (
 	"fmt"
-	"sort"
 	"sync"
+	"sync/atomic"
 
 	"polarcxlmem/internal/buffer"
 	"polarcxlmem/internal/cxl"
+	"polarcxlmem/internal/frametab"
 	"polarcxlmem/internal/page"
 	"polarcxlmem/internal/simclock"
 	"polarcxlmem/internal/simcpu"
@@ -23,16 +24,15 @@ import (
 // eviction clock reaches them.
 const lruMoveWindowMult = 4
 
-// blockState is the in-DRAM, crash-rebuildable side of one block.
-type blockState struct {
-	latch     sync.RWMutex
-	pins      int
-	lastTouch int64
-	dirty     bool // mirror of the CXL dirty flag, avoids repeated stores
-}
-
 // CXLPool is PolarCXLMem's buffer pool: every page and its metadata live
 // directly in the node's CXL region; there is no local tier.
+//
+// The in-DRAM side (page index, pins, latches, statistics) is a frametab
+// table; cxlStore below contributes everything CXL-resident — the durable
+// free/in-use lists, lock words, and flags stay exactly where the paper
+// puts them, so PolarRecv and Fsck are behaviorally untouched. The table's
+// capacity policy is disabled (Capacity 0): eviction is driven from inside
+// the store, because victim selection walks the CXL-resident LRU list.
 type CXLPool struct {
 	host   *cxl.HostPort
 	region *simmem.Region
@@ -41,12 +41,10 @@ type CXLPool struct {
 
 	nblocks int64
 
-	mu      sync.Mutex
-	index   map[uint64]int64 // page id -> 1-based block index
-	blocks  []blockState     // [nblocks]
-	epoch   int64
+	tab *frametab.Table
+	cst *cxlStore
+
 	barrier buffer.FlushBarrier
-	stats   buffer.Stats
 
 	// hook, when set, is called at named protocol steps; returning an error
 	// aborts the operation mid-way, leaving exactly the partial CXL state a
@@ -56,6 +54,34 @@ type CXLPool struct {
 
 var _ buffer.Pool = (*CXLPool)(nil)
 
+// cxlStore is CXLPool's frametab backend. Its mutex serializes every
+// CXL-resident list/metadata mutation (miss fill, create, eviction, drop) —
+// the instrumented op sequence of those paths is what the crash-point
+// sweeps replay, so it must stay single-file. Hit-path pins and latches are
+// the table's business and scale across shards.
+type cxlStore struct {
+	p *CXLPool
+
+	mu  sync.Mutex
+	ids []uint64 // idx-1 -> resident page id: pin checks without CXL reads
+
+	epoch  atomic.Int64
+	touch  []atomic.Int64 // idx-1 -> last-touch epoch (LRU move window)
+	window int64          // nblocks * lruMoveWindowMult, min 1 (precomputed)
+}
+
+// newPool wires an empty pool+store+table over region (Format and Open).
+func newPool(host *cxl.HostPort, region *simmem.Region, cache *simcpu.Cache, store *storage.Store, n int64) *CXLPool {
+	p := &CXLPool{host: host, region: region, cache: cache, store: store, nblocks: n}
+	w := n * lruMoveWindowMult
+	if w < 1 {
+		w = 1
+	}
+	p.cst = &cxlStore{p: p, ids: make([]uint64, n), touch: make([]atomic.Int64, n), window: w}
+	p.tab = frametab.New(frametab.Config{Store: p.cst, NotFound: storage.ErrNotFound})
+	return p
+}
+
 // Format initializes a fresh PolarCXLMem pool over region: writes the
 // header and chains every block into the free list. The region must be at
 // least RegionSizeFor(1) bytes.
@@ -64,8 +90,7 @@ func Format(host *cxl.HostPort, region *simmem.Region, cache *simcpu.Cache, stor
 	if n < 1 {
 		return nil, fmt.Errorf("core: region of %d bytes holds no blocks (need >= %d)", region.Size(), RegionSizeFor(1))
 	}
-	p := &CXLPool{host: host, region: region, cache: cache, store: store, nblocks: n,
-		index: make(map[uint64]int64), blocks: make([]blockState, n)}
+	p := newPool(host, region, cache, store, n)
 	// Formatting is a one-time startup action; charge nothing (raw writes).
 	w := func(off int64, v uint64) error { return region.Store64Raw(off, v) }
 	if err := w(hMagic, Magic); err != nil {
@@ -120,19 +145,14 @@ func (p *CXLPool) Cache() *simcpu.Cache { return p.cache }
 func (p *CXLPool) SetFlushBarrier(fb buffer.FlushBarrier) { p.barrier = fb }
 
 // Stats implements buffer.Pool.
-func (p *CXLPool) Stats() buffer.Stats {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.stats
-}
+func (p *CXLPool) Stats() buffer.Stats { return p.tab.Stats() }
 
 // Resident implements buffer.Pool: pages resident in CXL. Local DRAM holds
 // no pages at all — the cost advantage the paper quantifies.
-func (p *CXLPool) Resident() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return len(p.index)
-}
+func (p *CXLPool) Resident() int { return p.tab.Resident() }
+
+// PinnedFrames reports frames with live pins (conformance leak check).
+func (p *CXLPool) PinnedFrames() int { return p.tab.PinnedFrames() }
 
 // --- costed metadata access -------------------------------------------------
 
@@ -171,7 +191,7 @@ func (p *CXLPool) headStore(clk *simclock.Clock, off int64, v uint64) {
 }
 
 // --- CXL-resident list operations -------------------------------------------
-// Callers hold p.mu. Every splice is bracketed by the lruLock word so a
+// Callers hold cst.mu. Every splice is bracketed by the lruLock word so a
 // crash mid-splice is detectable (§3.2 challenge 1).
 
 func (p *CXLPool) lruLockSet(clk *simclock.Clock) error {
@@ -257,79 +277,160 @@ func (p *CXLPool) rawImage(idx int64, buf []byte) error {
 	return p.region.ReadRaw(dataOff(idx), buf)
 }
 
+// --- frametab backend -------------------------------------------------------
+
 // evictOne frees one unpinned LRU-tail block, flushing it to storage if
-// dirty. Called with p.mu held; performs its I/O inline (the pool mutex is
-// a functional lock, not a timing model).
-func (p *CXLPool) evictOne(clk *simclock.Clock) (int64, error) {
-	idx := int64(p.headLoad(clk, hInuseTail))
-	for idx != 0 && p.blocks[idx-1].pins > 0 {
-		idx = int64(p.metaLoad(clk, idx, mPrev))
-	}
-	if idx == 0 {
-		return 0, fmt.Errorf("core: all in-use blocks pinned, cannot evict")
-	}
-	st := &p.blocks[idx-1]
-	id := p.metaLoad(clk, idx, mPageID)
-	if st.dirty {
-		// The block's lines may be resident (clean) in this node's cache;
-		// unlocked pages were flushed at release, so CXL holds the latest.
-		img := make([]byte, page.Size)
-		if err := p.rawImage(idx, img); err != nil {
+// dirty. Called with cst.mu held; performs its I/O inline (the store mutex
+// is a functional lock, not a timing model). The victim's frame is taken
+// out of the table (atomically with its pin check) BEFORE the flush: a
+// concurrent Get for the victim page then misses and blocks on cst.mu in
+// Fetch until the eviction — including the storage write — has completed.
+func (s *cxlStore) evictOne(clk *simclock.Clock) (int64, error) {
+	p := s.p
+	for {
+		idx := int64(p.headLoad(clk, hInuseTail))
+		for idx != 0 && p.tab.Pinned(s.ids[idx-1]) {
+			idx = int64(p.metaLoad(clk, idx, mPrev))
+		}
+		if idx == 0 {
+			return 0, fmt.Errorf("core: all in-use blocks pinned, cannot evict")
+		}
+		id := p.metaLoad(clk, idx, mPageID)
+		fr, ok := p.tab.TakeIfIdle(id)
+		if !ok {
+			continue // pinned between walk and take; re-walk the list
+		}
+		if fr.Dirty() {
+			// The block's lines may be resident (clean) in this node's
+			// cache; unlocked pages were flushed at release, so CXL holds
+			// the latest.
+			img := make([]byte, page.Size)
+			if err := p.rawImage(idx, img); err != nil {
+				return 0, err
+			}
+			// Charge the bulk CXL->DRAM staging read that precedes the
+			// storage write, then the storage write itself.
+			p.host.TransferRead(clk, page.Size)
+			if p.barrier != nil {
+				p.barrier(clk, page.RawLSN(img))
+			}
+			if err := p.store.WritePage(clk, id, img); err != nil {
+				return 0, err
+			}
+			p.tab.Counters.StorageWrites.Add(1)
+		}
+		if err := p.lruLockSet(clk); err != nil {
 			return 0, err
 		}
-		// Charge the bulk CXL->DRAM staging read that precedes the storage
-		// write, then the storage write itself.
-		p.host.TransferRead(clk, page.Size)
-		if p.barrier != nil {
-			p.barrier(clk, page.RawLSN(img))
-		}
-		if err := p.store.WritePage(clk, id, img); err != nil {
+		if err := p.listRemove(clk, idx); err != nil {
 			return 0, err
 		}
-		p.stats.StorageWrites++
-		st.dirty = false
+		p.lruLockClear(clk)
+		p.metaStore(clk, idx, mPageID, 0)
+		p.metaStore(clk, idx, mFlags, 0)
+		p.metaStore(clk, idx, mLSN, 0)
+		// Drop any cached lines of the dead block so a future tenant of the
+		// block never sees them.
+		if err := p.cache.Flush(clk, p.dataRegion(idx), 0, page.Size); err != nil {
+			return 0, err
+		}
+		s.ids[idx-1] = 0
+		p.tab.Counters.Evictions.Add(1)
+		return idx, nil
 	}
+}
+
+// allocBlock returns a free block, evicting if necessary. cst.mu held.
+func (s *cxlStore) allocBlock(clk *simclock.Clock) (int64, error) {
+	if idx := s.p.popFree(clk); idx != 0 {
+		return idx, nil
+	}
+	return s.evictOne(clk)
+}
+
+// install fills block idx for page id: image bytes in bulk, then the
+// metadata words, then the in-use list splice. cst.mu held. chargeXfer
+// charges the DRAM->CXL staging write (a page fetched from storage; a
+// zero-fill create writes nothing across the link worth modelling).
+func (s *cxlStore) install(clk *simclock.Clock, idx int64, id uint64, img []byte, lsn, flags uint64, chargeXfer bool) error {
+	p := s.p
+	if err := p.region.WriteRaw(dataOff(idx), img); err != nil {
+		p.pushFree(clk, idx)
+		return err
+	}
+	if chargeXfer {
+		p.host.TransferWrite(clk, page.Size)
+	}
+	p.metaStore(clk, idx, mPageID, id)
+	p.metaStore(clk, idx, mLSN, lsn)
+	p.metaStore(clk, idx, mFlags, flags)
+	s.touch[idx-1].Store(s.epoch.Load())
 	if err := p.lruLockSet(clk); err != nil {
-		return 0, err
+		return err
 	}
-	if err := p.listRemove(clk, idx); err != nil {
-		return 0, err
+	if err := p.listPushFront(clk, idx); err != nil {
+		return err
 	}
 	p.lruLockClear(clk)
-	p.metaStore(clk, idx, mPageID, 0)
-	p.metaStore(clk, idx, mFlags, 0)
-	p.metaStore(clk, idx, mLSN, 0)
-	// Drop any cached lines of the dead block so a future tenant of the
-	// block never sees them.
-	if err := p.cache.Flush(clk, p.dataRegion(idx), 0, page.Size); err != nil {
-		return 0, err
+	s.ids[idx-1] = id
+	return nil
+}
+
+// Fetch implements frametab.FrameStore: stage the page from storage and
+// copy it into a CXL block in bulk.
+func (s *cxlStore) Fetch(clk *simclock.Clock, id uint64) (any, bool, error) {
+	p := s.p
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	idx, err := s.allocBlock(clk)
+	if err != nil {
+		return nil, false, err
 	}
-	delete(p.index, id)
-	p.stats.Evictions++
+	img := make([]byte, page.Size)
+	if err := p.store.ReadPage(clk, id, img); err != nil {
+		p.pushFree(clk, idx)
+		return nil, false, err
+	}
+	p.tab.Counters.StorageReads.Add(1)
+	if err := s.install(clk, idx, id, img, page.RawLSN(img), flagInUse, true); err != nil {
+		return nil, false, err
+	}
+	return idx, false, nil
+}
+
+// Create implements frametab.FrameStore: a zeroed block, dirty from birth.
+func (s *cxlStore) Create(clk *simclock.Clock, id uint64) (any, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	idx, err := s.allocBlock(clk)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.install(clk, idx, id, make([]byte, page.Size), 0, flagInUse|flagDirty, false); err != nil {
+		return nil, err
+	}
 	return idx, nil
 }
 
-// allocBlock returns a free block, evicting if necessary. p.mu held.
-func (p *CXLPool) allocBlock(clk *simclock.Clock) (int64, error) {
-	if idx := p.popFree(clk); idx != 0 {
-		return idx, nil
-	}
-	return p.evictOne(clk)
-}
-
-// maybeTouch moves block idx to MRU unless it was touched recently. p.mu
-// held.
-func (p *CXLPool) maybeTouch(clk *simclock.Clock, idx int64) error {
-	p.epoch++
-	st := &p.blocks[idx-1]
-	window := p.nblocks * lruMoveWindowMult
-	if window < 1 {
-		window = 1
-	}
-	if p.epoch-st.lastTouch <= window && st.lastTouch != 0 {
+// Touched implements frametab.Toucher: move the block to MRU unless it was
+// touched recently (the lruMoveWindowMult window).
+func (s *cxlStore) Touched(clk *simclock.Clock, id uint64, slot any) error {
+	p := s.p
+	idx := slot.(int64)
+	e := s.epoch.Add(1)
+	if lt := s.touch[idx-1].Load(); e-lt <= s.window && lt != 0 {
 		return nil // still young: skip the CXL pointer stores
 	}
-	st.lastTouch = p.epoch
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Re-check now that we hold the list mutex: concurrent getters of the
+	// same page all pass the unlocked window check together, and only the
+	// first should pay the CXL pointer stores. Single-threaded callers see
+	// an unchanged value, so fault-sweep op sequences are unaffected.
+	if lt := s.touch[idx-1].Load(); e-lt <= s.window && lt != 0 {
+		return nil
+	}
+	s.touch[idx-1].Store(e)
 	if int64(p.headLoad(clk, hInuseHead)) == idx {
 		return nil
 	}
@@ -346,160 +447,65 @@ func (p *CXLPool) maybeTouch(clk *simclock.Clock, idx int64) error {
 	return nil
 }
 
-// Get implements buffer.Pool.
-func (p *CXLPool) Get(clk *simclock.Clock, id uint64, mode buffer.Mode) (buffer.Frame, error) {
-	p.mu.Lock()
-	idx, ok := p.index[id]
-	if ok {
-		p.stats.Hits++
-		p.blocks[idx-1].pins++
-		if err := p.maybeTouch(clk, idx); err != nil {
-			p.blocks[idx-1].pins--
-			p.mu.Unlock()
-			return nil, err
-		}
-		p.mu.Unlock()
-	} else {
-		p.stats.Misses++
-		var err error
-		idx, err = p.allocBlock(clk)
-		if err != nil {
-			p.mu.Unlock()
-			return nil, err
-		}
-		// Stage the page from storage and copy it into CXL in bulk.
-		img := make([]byte, page.Size)
-		if err := p.store.ReadPage(clk, id, img); err != nil {
-			p.pushFree(clk, idx)
-			p.mu.Unlock()
-			return nil, err
-		}
-		p.stats.StorageReads++
-		if err := p.region.WriteRaw(dataOff(idx), img); err != nil {
-			p.pushFree(clk, idx)
-			p.mu.Unlock()
-			return nil, err
-		}
-		p.host.TransferWrite(clk, page.Size)
-		p.metaStore(clk, idx, mPageID, id)
-		p.metaStore(clk, idx, mLSN, page.RawLSN(img))
-		p.metaStore(clk, idx, mFlags, flagInUse)
-		st := &p.blocks[idx-1]
-		st.dirty = false
-		st.pins = 1
-		st.lastTouch = p.epoch
-		if err := p.lruLockSet(clk); err != nil {
-			p.mu.Unlock()
-			return nil, err
-		}
-		if err := p.listPushFront(clk, idx); err != nil {
-			p.mu.Unlock()
-			return nil, err
-		}
-		p.lruLockClear(clk)
-		p.index[id] = idx
-		p.mu.Unlock()
-	}
-	return p.latchAndWrap(clk, id, idx, mode)
+// WriteLatched implements frametab.WriteLatchNotifier: persist the
+// write-lock word BEFORE any modification — if the host crashes mid-update,
+// PolarRecv sees the lock and rebuilds from redo (§3.2).
+func (s *cxlStore) WriteLatched(clk *simclock.Clock, id uint64, slot any) error {
+	s.p.metaStore(clk, slot.(int64), mLock, lockWritten)
+	return s.p.step("write-locked")
 }
 
-// latchAndWrap acquires the block latch (outside p.mu) and builds the frame.
-func (p *CXLPool) latchAndWrap(clk *simclock.Clock, id uint64, idx int64, mode buffer.Mode) (buffer.Frame, error) {
-	st := &p.blocks[idx-1]
-	if mode == buffer.Write {
-		st.latch.Lock()
-		// Persist the write-lock word BEFORE any modification: if we crash
-		// mid-update, PolarRecv sees the lock and rebuilds from redo (§3.2).
-		p.metaStore(clk, idx, mLock, lockWritten)
-		if err := p.step("write-locked"); err != nil {
-			return nil, err
-		}
-	} else {
-		st.latch.RLock()
+// --- buffer.Pool ------------------------------------------------------------
+
+// Get implements buffer.Pool.
+func (p *CXLPool) Get(clk *simclock.Clock, id uint64, mode buffer.Mode) (buffer.Frame, error) {
+	f, err := p.tab.Get(clk, id, mode)
+	if err != nil {
+		return nil, err
 	}
-	return &cxlFrame{pool: p, clk: clk, id: id, idx: idx, mode: mode}, nil
+	return &cxlFrame{pool: p, clk: clk, idx: f.Slot().(int64), fr: f, mode: mode}, nil
 }
 
 // NewPage implements buffer.Pool.
 func (p *CXLPool) NewPage(clk *simclock.Clock) (buffer.Frame, error) {
 	id := p.store.AllocPageID()
-	p.mu.Lock()
-	idx, err := p.allocBlock(clk)
+	f, err := p.tab.Create(clk, id)
 	if err != nil {
-		p.mu.Unlock()
 		return nil, err
 	}
-	// Zero the image region (fresh page).
-	if err := p.region.WriteRaw(dataOff(idx), make([]byte, page.Size)); err != nil {
-		p.pushFree(clk, idx)
-		p.mu.Unlock()
-		return nil, err
-	}
-	p.metaStore(clk, idx, mPageID, id)
-	p.metaStore(clk, idx, mLSN, 0)
-	p.metaStore(clk, idx, mFlags, flagInUse|flagDirty)
-	st := &p.blocks[idx-1]
-	st.dirty = true
-	st.pins = 1
-	st.lastTouch = p.epoch
-	if err := p.lruLockSet(clk); err != nil {
-		p.mu.Unlock()
-		return nil, err
-	}
-	if err := p.listPushFront(clk, idx); err != nil {
-		p.mu.Unlock()
-		return nil, err
-	}
-	p.lruLockClear(clk)
-	p.index[id] = idx
-	p.mu.Unlock()
-	return p.latchAndWrap(clk, id, idx, buffer.Write)
+	return &cxlFrame{pool: p, clk: clk, idx: f.Slot().(int64), fr: f, mode: buffer.Write}, nil
 }
 
 // FlushAll implements buffer.Pool: every dirty page goes to storage
-// (checkpoint support). Pages stay resident — CXL is the buffer pool.
+// (checkpoint support). Pages stay resident — CXL is the buffer pool. The
+// dirty snapshot comes back sorted by page id: map iteration order would
+// make the substrate operation sequence differ run to run, breaking
+// fault-plan replay.
 func (p *CXLPool) FlushAll(clk *simclock.Clock) error {
-	p.mu.Lock()
-	type victim struct {
-		idx int64
-		id  uint64
-	}
-	var dirty []victim
-	for id, idx := range p.index {
-		if p.blocks[idx-1].dirty {
-			dirty = append(dirty, victim{idx, id})
-		}
-	}
-	p.mu.Unlock()
-	// Flush in page-id order: map iteration order would make the substrate
-	// operation sequence differ run to run, breaking fault-plan replay.
-	sort.Slice(dirty, func(i, j int) bool { return dirty[i].id < dirty[j].id })
-	for _, v := range dirty {
-		st := &p.blocks[v.idx-1]
-		st.latch.RLock()
+	for _, fr := range p.tab.Snapshot(true) {
+		idx := fr.Slot().(int64)
+		fr.Lock(buffer.Read)
 		// Make CXL current for this page (write back this node's dirty
 		// lines), then stage and write to storage.
-		err := p.cache.Flush(clk, p.dataRegion(v.idx), 0, page.Size)
+		err := p.cache.Flush(clk, p.dataRegion(idx), 0, page.Size)
 		var img []byte
 		if err == nil {
 			img = make([]byte, page.Size)
-			err = p.rawImage(v.idx, img)
+			err = p.rawImage(idx, img)
 		}
 		if err == nil {
 			p.host.TransferRead(clk, page.Size)
 			if p.barrier != nil {
 				p.barrier(clk, page.RawLSN(img))
 			}
-			err = p.store.WritePage(clk, v.id, img)
+			err = p.store.WritePage(clk, fr.ID(), img)
 		}
 		if err == nil {
-			st.dirty = false
-			p.metaStore(clk, v.idx, mFlags, flagInUse)
-			p.mu.Lock()
-			p.stats.StorageWrites++
-			p.mu.Unlock()
+			fr.ClearDirty()
+			p.metaStore(clk, idx, mFlags, flagInUse)
+			p.tab.Counters.StorageWrites.Add(1)
 		}
-		st.latch.RUnlock()
+		fr.Unlock(buffer.Read)
 		if err != nil {
 			return err
 		}
@@ -513,8 +519,8 @@ func (p *CXLPool) FlushAll(clk *simclock.Clock) error {
 // recovery.PolarRecv.
 func (p *CXLPool) Crash() {
 	p.cache.Drop()
-	p.mu.Lock()
-	p.index = nil
-	p.blocks = nil
-	p.mu.Unlock()
+	// The table stays readable (Stats on a dead pool is a diagnostic the
+	// benchmark rigs use), but the store's DRAM mirrors are gone: any page
+	// access on the crashed pool is a bug, and nilling cst makes it loud.
+	p.cst = nil
 }

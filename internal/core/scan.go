@@ -53,8 +53,7 @@ func Open(clk *simclock.Clock, host *cxl.HostPort, region *simmem.Region, cache 
 	if n < 1 || RegionSizeFor(n) > region.Size() {
 		return nil, nil, fmt.Errorf("core: corrupt header: nblocks=%d for region of %d bytes", n, region.Size())
 	}
-	p := &CXLPool{host: host, region: region, cache: cache, store: store, nblocks: n,
-		index: make(map[uint64]int64), blocks: make([]blockState, n)}
+	p := newPool(host, region, cache, store, n)
 	rep := &ScanReport{}
 
 	// One sequential pass over the metadata lines. Charged as a bulk read:
@@ -79,8 +78,8 @@ func Open(clk *simclock.Clock, host *cxl.HostPort, region *simmem.Region, cache 
 		bi := BlockInfo{Index: i, PageID: id, Locked: lock != lockFree, Dirty: flags&flagDirty != 0, LSN: lsn}
 		inUse[i] = bi
 		rep.Blocks = append(rep.Blocks, bi)
-		p.index[id] = i
-		p.blocks[i-1].dirty = bi.Dirty
+		p.tab.Seed(id, i, bi.Dirty)
+		p.cst.ids[i-1] = id
 	}
 
 	lruLock, _ := region.Load64Raw(hLRULock)
@@ -202,12 +201,11 @@ func (p *CXLPool) RepairPage(clk *simclock.Clock, id uint64, img []byte, dirty b
 	if len(img) != page.Size {
 		return fmt.Errorf("core: repair image of %d bytes", len(img))
 	}
-	p.mu.Lock()
-	idx, ok := p.index[id]
-	p.mu.Unlock()
-	if !ok {
+	fr := p.tab.Lookup(id)
+	if fr == nil {
 		return fmt.Errorf("core: repair of unknown page %d", id)
 	}
+	idx := fr.Slot().(int64)
 	if err := p.region.WriteRaw(dataOff(idx), img); err != nil {
 		return err
 	}
@@ -220,7 +218,11 @@ func (p *CXLPool) RepairPage(clk *simclock.Clock, id uint64, img []byte, dirty b
 	p.region.Store64Raw(off+mLSN, page.RawLSN(img))
 	p.region.Store64Raw(off+mFlags, flags)
 	p.region.Store64Raw(off+mLock, lockFree)
-	p.blocks[idx-1].dirty = dirty
+	if dirty {
+		fr.MarkDirty()
+	} else {
+		fr.ClearDirty()
+	}
 	return nil
 }
 
@@ -228,12 +230,13 @@ func (p *CXLPool) RepairPage(clk *simclock.Clock, id uint64, img []byte, dirty b
 // a crash interrupted a page that has no durable history at all (e.g. a
 // NewPage whose mini-transaction never committed).
 func (p *CXLPool) DropPage(clk *simclock.Clock, id uint64) error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	idx, ok := p.index[id]
-	if !ok {
+	p.cst.mu.Lock()
+	defer p.cst.mu.Unlock()
+	fr := p.tab.Lookup(id)
+	if fr == nil {
 		return fmt.Errorf("core: drop of unknown page %d", id)
 	}
+	idx := fr.Slot().(int64)
 	// The block may or may not be on the (possibly rebuilt) in-use list;
 	// remove it if linked.
 	if err := p.lruLockSet(clk); err != nil {
@@ -247,29 +250,27 @@ func (p *CXLPool) DropPage(clk *simclock.Clock, id uint64) error {
 	p.metaStore(clk, idx, mFlags, 0)
 	p.metaStore(clk, idx, mLock, lockFree)
 	p.pushFree(clk, idx)
-	delete(p.index, id)
+	p.cst.ids[idx-1] = 0
+	p.tab.Discard(id)
 	return nil
 }
 
 // PageLSN reports the metadata LSN of a resident page (diagnostics).
 func (p *CXLPool) PageLSN(id uint64) (uint64, bool) {
-	p.mu.Lock()
-	idx, ok := p.index[id]
-	p.mu.Unlock()
-	if !ok {
+	fr := p.tab.Lookup(id)
+	if fr == nil {
 		return 0, false
 	}
+	idx := fr.Slot().(int64)
 	v, _ := p.region.Load64Raw(blockOff(idx) + mLSN)
 	return v, true
 }
 
 // RawPage copies the CXL-resident image of page id (diagnostics, recovery).
 func (p *CXLPool) RawPage(id uint64, buf []byte) error {
-	p.mu.Lock()
-	idx, ok := p.index[id]
-	p.mu.Unlock()
-	if !ok {
+	fr := p.tab.Lookup(id)
+	if fr == nil {
 		return fmt.Errorf("core: page %d not resident", id)
 	}
-	return p.rawImage(idx, buf)
+	return p.rawImage(fr.Slot().(int64), buf)
 }

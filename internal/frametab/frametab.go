@@ -1,0 +1,727 @@
+// Package frametab is the shared frame-table substrate under every buffer
+// pool in the repo. The paper's point (§2–3) is that one buffer-pool
+// abstraction carries the DRAM, RDMA-tiered, and CXL-direct designs through
+// the identical engine; frametab is that abstraction's mechanical core:
+//
+//   - a sharded page-id -> frame index with per-shard (striped) locks, so
+//     parallel Get traffic scales with goroutines instead of serializing on
+//     one pool mutex (Config.Shards, default DefaultShards, rounded up to a
+//     power of two);
+//   - shared pin / latch / LRU-clock machinery (second-chance clock ring,
+//     pin-aware victim selection);
+//   - sync/atomic stats Counters with a torn-read-free Snapshot;
+//   - one generic Get / Create / GetOrCreate flow parameterized by a small
+//     FrameStore backing interface.
+//
+// The backing mediums plug in as FrameStore implementations: a DRAM slab
+// (buffer.DRAMPool), an RDMA remote tier (buffer.TieredPool), a CXL block
+// with durable metadata (core.CXLPool), or shared DBP metadata slots
+// (sharing.SharedPool / sharing.RDMASharedPool). Optional capability
+// interfaces (Toucher, WriteLatchNotifier, Revalidator, Latcher, EvictStore)
+// are discovered by type assertion at construction and let a store keep
+// medium-specific protocol steps — CXL's durable lock word, the fusion
+// server's distributed page lock — in exactly the order the crash-recovery
+// protocols require.
+//
+// # Determinism
+//
+// The PR-1 fault-injection sweeps replay a workload and crash it at the
+// N-th instrumented operation; that only works if run K and run K+1 emit
+// the identical operation sequence. frametab therefore never lets Go's
+// randomized map iteration order leak into an instrumented path: Snapshot
+// walks the shards in index order and returns frames sorted by page id, so
+// FlushAll (checkpointing) and every other bulk path issue their device
+// operations in one canonical order. Single-threaded instrumented runs
+// (the sweep harness is single-threaded by construction) also see the exact
+// per-Get operation order of the pre-frametab pools: pin, touch hook,
+// latch, write-latch hook.
+//
+// Eviction uses a second-chance clock over the insertion ring rather than a
+// strict LRU list: frames are appended at load time, hits set a referenced
+// bit, and the hand sweeps past pinned or recently-referenced frames. The
+// hand state lives under one small mutex (evictMu) that is never held
+// across store I/O.
+package frametab
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"polarcxlmem/internal/simclock"
+)
+
+// DefaultShards is the index shard count when Config.Shards is zero. Shard
+// counts are rounded up to a power of two so the page-id hash reduces with
+// a mask.
+const DefaultShards = 64
+
+// Mode is a latch mode. buffer.Mode aliases this type.
+type Mode int
+
+// Latch modes.
+const (
+	Read Mode = iota
+	Write
+)
+
+// Stats is a plain snapshot of pool counters. buffer.Stats aliases this
+// type.
+type Stats struct {
+	Hits          int64
+	Misses        int64
+	Evictions     int64
+	StorageReads  int64
+	StorageWrites int64
+	RemoteReads   int64 // RDMA page fetches (tiered pool)
+	RemoteWrites  int64 // RDMA page pushes (tiered pool)
+}
+
+// Counters is the live, atomically-updated form of Stats. Stores bump the
+// fields directly; Snapshot reads them without tearing a struct copy under
+// a different lock than the writers held.
+type Counters struct {
+	Hits          atomic.Int64
+	Misses        atomic.Int64
+	Evictions     atomic.Int64
+	StorageReads  atomic.Int64
+	StorageWrites atomic.Int64
+	RemoteReads   atomic.Int64
+	RemoteWrites  atomic.Int64
+}
+
+// Snapshot reads every counter once.
+func (c *Counters) Snapshot() Stats {
+	return Stats{
+		Hits:          c.Hits.Load(),
+		Misses:        c.Misses.Load(),
+		Evictions:     c.Evictions.Load(),
+		StorageReads:  c.StorageReads.Load(),
+		StorageWrites: c.StorageWrites.Load(),
+		RemoteReads:   c.RemoteReads.Load(),
+		RemoteWrites:  c.RemoteWrites.Load(),
+	}
+}
+
+// FrameStore is the backing medium behind a Table. Fetch and Create run
+// outside every table lock (the frame is already published as loading, so
+// concurrent getters wait on it rather than double-loading); they return
+// the medium-specific slot value the pool's frame wrapper will operate on
+// (a []byte image, a CXL block index, a metadata entry).
+type FrameStore interface {
+	// Fetch materializes page id from the backing medium. dirty reports
+	// whether the returned content is already newer than the durable
+	// storage image (e.g. a dirty page re-fetched from the remote tier).
+	Fetch(clk *simclock.Clock, id uint64) (slot any, dirty bool, err error)
+	// Create materializes a fresh zeroed page (always born dirty).
+	Create(clk *simclock.Clock, id uint64) (slot any, err error)
+}
+
+// EvictStore lets the table's capacity policy push a victim back into the
+// medium. Required when Config.Capacity > 0 (table-policy eviction);
+// stores that run their own eviction inside Fetch/Create (the CXL pool)
+// may omit it. Also used to release a slot whose frame a Revalidator
+// retired.
+type EvictStore interface {
+	Evict(clk *simclock.Clock, id uint64, slot any, dirty bool) error
+}
+
+// Toucher is called on every table hit, before the latch; the CXL store
+// uses it for its touch-window LRU splice. An error aborts the Get (the
+// pin is dropped).
+type Toucher interface {
+	Touched(clk *simclock.Clock, id uint64, slot any) error
+}
+
+// WriteLatchNotifier is called after the local write latch is acquired and
+// before the frame is handed out; the CXL store persists its durable lock
+// word here. An error aborts the Get but deliberately leaves the latch and
+// pin in place — the CXL error model is a host crash, and the crashed
+// host's DRAM state is abandoned, not unwound.
+type WriteLatchNotifier interface {
+	WriteLatched(clk *simclock.Clock, id uint64, slot any) error
+}
+
+// Revalidator is consulted on every hit before the frame is reused. A
+// false result retires the frame (the table discards it, hands the slot to
+// EvictStore if present, and retries the Get as a miss) — the shared pool
+// uses this for the fusion server's removal flags.
+type Revalidator interface {
+	Revalidate(clk *simclock.Clock, id uint64, slot any) (bool, error)
+}
+
+// Latcher replaces the frame-local RWMutex latch entirely: the shared pool
+// substitutes the fusion server's distributed page lock. fresh marks a
+// just-created page (skip staleness handling — nobody else has seen it).
+// The pool's frame wrapper owns the matching unlock in Release.
+type Latcher interface {
+	Latch(clk *simclock.Clock, id uint64, slot any, write, fresh bool) error
+}
+
+// Config configures a Table.
+type Config struct {
+	// Shards is the index shard count (rounded up to a power of two);
+	// zero means DefaultShards. More shards = less Get-path contention;
+	// the only cost is a few map headers.
+	Shards int
+	// Capacity bounds resident frames; the table evicts through
+	// EvictStore to stay under it. Zero disables table-policy eviction
+	// (the store evicts internally, as the CXL pool does).
+	Capacity int
+	// Store is the backing medium.
+	Store FrameStore
+	// NotFound is the sentinel GetOrCreate treats as "no durable image:
+	// create instead" (pools pass storage.ErrNotFound; frametab does not
+	// import storage to stay below every pool in the layering).
+	NotFound error
+}
+
+// Frame is one resident page slot. Pools wrap it in their own
+// buffer.Frame implementation; the wrapper owns latch release and unpin.
+type Frame struct {
+	id   uint64
+	slot any
+
+	latch sync.RWMutex
+	dirty atomic.Bool
+	ref   atomic.Bool // second-chance bit for the eviction clock
+
+	ready  atomic.Bool   // slot/dirty published (load completed)
+	loaded chan struct{} // closed when the load settles; nil for seeded frames
+
+	// pins counts live users. Increments happen only under the owning
+	// shard's mutex (so TakeIfIdle's idle-check-and-remove stays atomic);
+	// decrements are lock-free, halving mutex traffic on the Get/Release
+	// hot path. A remover that loads a just-decremented stale value merely
+	// skips a now-idle frame — conservative, never unsafe.
+	pins    atomic.Int64
+	ringIdx int // guarded by table.evictMu; -1 when off the ring
+}
+
+// ID reports the page id.
+func (f *Frame) ID() uint64 { return f.id }
+
+// Slot returns the store-specific slot value (immutable once loaded).
+func (f *Frame) Slot() any { return f.slot }
+
+// Dirty reports divergence from the durable storage image.
+func (f *Frame) Dirty() bool { return f.dirty.Load() }
+
+// MarkDirty records divergence from the durable storage image.
+func (f *Frame) MarkDirty() { f.dirty.Store(true) }
+
+// ClearDirty records that the durable image caught up (checkpoint flush).
+func (f *Frame) ClearDirty() { f.dirty.Store(false) }
+
+// Lock acquires the frame-local latch in mode.
+func (f *Frame) Lock(mode Mode) {
+	if mode == Write {
+		f.latch.Lock()
+	} else {
+		f.latch.RLock()
+	}
+}
+
+// Unlock releases the frame-local latch taken in mode.
+func (f *Frame) Unlock(mode Mode) {
+	if mode == Write {
+		f.latch.Unlock()
+	} else {
+		f.latch.RUnlock()
+	}
+}
+
+// waitReady blocks until the frame's load settles; false means the load
+// failed and the frame was withdrawn.
+func (f *Frame) waitReady() bool {
+	if f.ready.Load() {
+		return true
+	}
+	if f.loaded != nil {
+		<-f.loaded
+	}
+	return f.ready.Load()
+}
+
+type shard struct {
+	mu     sync.Mutex
+	frames map[uint64]*Frame
+
+	// Hot-path hit/miss tallies live per shard, under the shard mutex the
+	// Get path already holds: a single table-wide atomic counter is one
+	// cache line every goroutine contends on, which is exactly the
+	// serialization sharding exists to remove. Stats sums the shards.
+	hits   int64
+	misses int64
+
+	_ [88]byte // pad to a cache-line multiple: no false sharing between shards
+}
+
+// Table is the sharded frame table.
+type Table struct {
+	// Counters are the live pool statistics; stores bump the I/O-side
+	// fields (StorageReads, RemoteWrites, ...) directly.
+	Counters Counters
+
+	store    FrameStore
+	evictor  EvictStore
+	toucher  Toucher
+	wlatched WriteLatchNotifier
+	reval    Revalidator
+	latcher  Latcher
+	notFound error
+	capacity int
+
+	shards []shard
+	mask   uint64
+
+	resident atomic.Int64
+
+	evictMu sync.Mutex
+	ring    []*Frame
+	hand    int
+}
+
+// New builds a table over cfg.Store.
+func New(cfg Config) *Table {
+	if cfg.Store == nil {
+		panic("frametab: Config.Store is required")
+	}
+	n := cfg.Shards
+	if n <= 0 {
+		n = DefaultShards
+	}
+	pow := 1
+	for pow < n {
+		pow <<= 1
+	}
+	t := &Table{
+		store:    cfg.Store,
+		notFound: cfg.NotFound,
+		capacity: cfg.Capacity,
+		shards:   make([]shard, pow),
+		mask:     uint64(pow - 1),
+	}
+	for i := range t.shards {
+		t.shards[i].frames = make(map[uint64]*Frame)
+	}
+	t.evictor, _ = cfg.Store.(EvictStore)
+	t.toucher, _ = cfg.Store.(Toucher)
+	t.wlatched, _ = cfg.Store.(WriteLatchNotifier)
+	t.reval, _ = cfg.Store.(Revalidator)
+	t.latcher, _ = cfg.Store.(Latcher)
+	if t.capacity > 0 && t.evictor == nil {
+		panic("frametab: Capacity > 0 requires the store to implement EvictStore")
+	}
+	return t
+}
+
+// shardOf hashes a page id to its shard (Fibonacci multiplicative hash so
+// sequential ids still spread when the shard count is small).
+func (t *Table) shardOf(id uint64) *shard {
+	return &t.shards[(id*0x9E3779B97F4A7C15)>>32&t.mask]
+}
+
+// Stats snapshots the counters: the atomic cold-path Counters plus the
+// per-shard hit/miss tallies.
+func (t *Table) Stats() Stats {
+	s := t.Counters.Snapshot()
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		s.Hits += sh.hits
+		s.Misses += sh.misses
+		sh.mu.Unlock()
+	}
+	return s
+}
+
+// Resident reports how many frames the table currently holds.
+func (t *Table) Resident() int { return int(t.resident.Load()) }
+
+// PinnedFrames counts frames with a non-zero pin count (leak checking).
+func (t *Table) PinnedFrames() int {
+	n := 0
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		for _, f := range sh.frames {
+			if f.pins.Load() > 0 {
+				n++
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Pinned reports whether page id is resident with a non-zero pin count.
+func (t *Table) Pinned(id uint64) bool {
+	sh := t.shardOf(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	f, ok := sh.frames[id]
+	return ok && f.pins.Load() > 0
+}
+
+// Lookup returns page id's frame without pinning it (diagnostics and
+// store-driven eviction; the caller must hold whatever store-level lock
+// keeps the frame alive).
+func (t *Table) Lookup(id uint64) *Frame {
+	sh := t.shardOf(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.frames[id]
+}
+
+// Unpin drops one pin (lock-free; see the pins field comment).
+func (t *Table) Unpin(f *Frame) {
+	f.pins.Add(-1)
+}
+
+// unhit unpins a frame whose load failed under a waiting getter and
+// reverses the hit tally — the retried Get will count as a miss.
+func (t *Table) unhit(f *Frame) {
+	f.pins.Add(-1)
+	sh := t.shardOf(f.id)
+	sh.mu.Lock()
+	sh.hits--
+	sh.mu.Unlock()
+}
+
+// Snapshot returns the resident (optionally: dirty-only) frames, walking
+// the shards in index order and sorting by page id — bulk paths must issue
+// device operations in this canonical order or fault-plan replay breaks
+// (see the package comment).
+func (t *Table) Snapshot(dirtyOnly bool) []*Frame {
+	var out []*Frame
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		for _, f := range sh.frames {
+			if f.ready.Load() && (!dirtyOnly || f.dirty.Load()) {
+				out = append(out, f)
+			}
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+// Seed installs an already-materialized frame (pool reopen after a crash:
+// core.Open rebuilds the table from surviving CXL metadata).
+func (t *Table) Seed(id uint64, slot any, dirty bool) *Frame {
+	f := &Frame{id: id, slot: slot, ringIdx: -1}
+	f.dirty.Store(dirty)
+	f.ready.Store(true)
+	sh := t.shardOf(id)
+	sh.mu.Lock()
+	sh.frames[id] = f
+	sh.mu.Unlock()
+	t.resident.Add(1)
+	t.ringAdd(f)
+	return f
+}
+
+// TakeIfIdle atomically removes page id when it has no pins, returning its
+// frame. Used by store-driven eviction (pin check and removal must be one
+// step, or a concurrent Get could pin the frame mid-eviction) and by
+// invalidation delivery.
+func (t *Table) TakeIfIdle(id uint64) (*Frame, bool) {
+	sh := t.shardOf(id)
+	sh.mu.Lock()
+	f, ok := sh.frames[id]
+	if !ok || f.pins.Load() > 0 {
+		sh.mu.Unlock()
+		return nil, false
+	}
+	delete(sh.frames, id)
+	sh.mu.Unlock()
+	t.detach(f)
+	return f, true
+}
+
+// Discard unconditionally removes page id (recovery paths that own the
+// whole pool: DropPage).
+func (t *Table) Discard(id uint64) (*Frame, bool) {
+	sh := t.shardOf(id)
+	sh.mu.Lock()
+	f, ok := sh.frames[id]
+	if !ok {
+		sh.mu.Unlock()
+		return nil, false
+	}
+	delete(sh.frames, id)
+	sh.mu.Unlock()
+	t.detach(f)
+	return f, true
+}
+
+func (t *Table) detach(f *Frame) {
+	t.resident.Add(-1)
+	if t.capacity > 0 {
+		t.evictMu.Lock()
+		t.ringRemoveLocked(f)
+		t.evictMu.Unlock()
+	}
+}
+
+// --- eviction clock ---------------------------------------------------------
+
+func (t *Table) ringAdd(f *Frame) {
+	if t.capacity <= 0 {
+		return
+	}
+	t.evictMu.Lock()
+	f.ringIdx = len(t.ring)
+	t.ring = append(t.ring, f)
+	t.evictMu.Unlock()
+}
+
+// ringRemoveLocked unlinks f (swap-remove). Caller holds evictMu.
+func (t *Table) ringRemoveLocked(f *Frame) {
+	i := f.ringIdx
+	if i < 0 {
+		return
+	}
+	last := len(t.ring) - 1
+	t.ring[i] = t.ring[last]
+	t.ring[i].ringIdx = i
+	t.ring[last] = nil
+	t.ring = t.ring[:last]
+	f.ringIdx = -1
+	if t.hand > i {
+		t.hand--
+	}
+	if t.hand > len(t.ring) {
+		t.hand = len(t.ring)
+	}
+}
+
+// reserve evicts until a frame slot is available under Capacity.
+func (t *Table) reserve(clk *simclock.Clock) error {
+	if t.capacity <= 0 {
+		return nil
+	}
+	for int(t.resident.Load()) >= t.capacity {
+		if err := t.evictOne(clk); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// evictOne runs one sweep of the second-chance clock and evicts the first
+// unpinned, unreferenced frame through the EvictStore.
+func (t *Table) evictOne(clk *simclock.Clock) error {
+	t.evictMu.Lock()
+	n := len(t.ring)
+	if n == 0 {
+		t.evictMu.Unlock()
+		return errors.New("frametab: nothing resident to evict")
+	}
+	var victim *Frame
+	// Two full revolutions: the first may only clear referenced bits, the
+	// second then finds any unpinned frame.
+	for scanned := 0; scanned < 2*n+1 && len(t.ring) > 0; scanned++ {
+		if t.hand >= len(t.ring) {
+			t.hand = 0
+		}
+		f := t.ring[t.hand]
+		if f.ref.Swap(false) {
+			t.hand++
+			continue
+		}
+		sh := t.shardOf(f.id)
+		sh.mu.Lock()
+		if f.pins.Load() > 0 || sh.frames[f.id] != f {
+			sh.mu.Unlock()
+			t.hand++
+			continue
+		}
+		delete(sh.frames, f.id)
+		sh.mu.Unlock()
+		t.ringRemoveLocked(f)
+		victim = f
+		break
+	}
+	t.evictMu.Unlock()
+	if victim == nil {
+		return fmt.Errorf("frametab: all %d resident frames pinned, cannot evict", n)
+	}
+	t.resident.Add(-1)
+	t.Counters.Evictions.Add(1)
+	return t.evictor.Evict(clk, victim.id, victim.slot, victim.dirty.Load())
+}
+
+// --- generic get / create ---------------------------------------------------
+
+// Get pins and latches page id in mode, loading it through the FrameStore
+// on a miss. The returned frame is pinned and latched; the caller releases
+// both (directly or via its pool's frame wrapper).
+func (t *Table) Get(clk *simclock.Clock, id uint64, mode Mode) (*Frame, error) {
+	for {
+		sh := t.shardOf(id)
+		sh.mu.Lock()
+		if f, ok := sh.frames[id]; ok {
+			f.pins.Add(1)
+			sh.hits++
+			sh.mu.Unlock()
+			if !f.waitReady() {
+				t.unhit(f) // load failed under us; retry as a miss
+				continue
+			}
+			if !f.ref.Load() {
+				f.ref.Store(true) // avoid hot-page cache-line ping-pong
+			}
+			if t.reval != nil {
+				ok, err := t.reval.Revalidate(clk, id, f.slot)
+				if err != nil {
+					t.Unpin(f)
+					return nil, err
+				}
+				if !ok {
+					t.Unpin(f)
+					t.retire(clk, f)
+					continue // re-register as a miss
+				}
+			}
+			if t.toucher != nil {
+				if err := t.toucher.Touched(clk, id, f.slot); err != nil {
+					t.Unpin(f)
+					return nil, err
+				}
+			}
+			return t.acquire(clk, f, mode, false)
+		}
+		sh.mu.Unlock()
+
+		if err := t.reserve(clk); err != nil {
+			return nil, err
+		}
+		sh.mu.Lock()
+		if _, raced := sh.frames[id]; raced {
+			sh.mu.Unlock()
+			continue // someone else inserted; retry as a hit
+		}
+		f := &Frame{id: id, loaded: make(chan struct{}), ringIdx: -1}
+		f.pins.Store(1)
+		sh.frames[id] = f
+		sh.misses++
+		sh.mu.Unlock()
+		t.resident.Add(1)
+
+		slot, dirty, err := t.store.Fetch(clk, id)
+		if err != nil {
+			t.abortLoad(f)
+			return nil, err
+		}
+		t.finishLoad(f, slot, dirty)
+		return t.acquire(clk, f, mode, false)
+	}
+}
+
+// Create materializes a fresh page id through the FrameStore (always born
+// dirty) and returns it write-latched and pinned.
+func (t *Table) Create(clk *simclock.Clock, id uint64) (*Frame, error) {
+	if err := t.reserve(clk); err != nil {
+		return nil, err
+	}
+	sh := t.shardOf(id)
+	sh.mu.Lock()
+	if _, exists := sh.frames[id]; exists {
+		sh.mu.Unlock()
+		// GetOrCreate race: someone materialized it first; latch theirs.
+		return t.Get(clk, id, Write)
+	}
+	f := &Frame{id: id, loaded: make(chan struct{}), ringIdx: -1}
+	f.pins.Store(1)
+	sh.frames[id] = f
+	sh.mu.Unlock()
+	t.resident.Add(1)
+
+	slot, err := t.store.Create(clk, id)
+	if err != nil {
+		t.abortLoad(f)
+		return nil, err
+	}
+	t.finishLoad(f, slot, true)
+	return t.acquire(clk, f, Write, true)
+}
+
+// GetOrCreate write-latches page id, creating it when the backing medium
+// reports the configured NotFound sentinel — the recovery redo path needs
+// this for pages created after the last checkpoint.
+func (t *Table) GetOrCreate(clk *simclock.Clock, id uint64) (*Frame, error) {
+	f, err := t.Get(clk, id, Write)
+	if err == nil {
+		return f, nil
+	}
+	if t.notFound == nil || !errors.Is(err, t.notFound) {
+		return nil, err
+	}
+	return t.Create(clk, id)
+}
+
+// acquire latches a pinned frame and runs the post-latch hooks.
+func (t *Table) acquire(clk *simclock.Clock, f *Frame, mode Mode, fresh bool) (*Frame, error) {
+	if t.latcher != nil {
+		if err := t.latcher.Latch(clk, f.id, f.slot, mode == Write, fresh); err != nil {
+			t.Unpin(f)
+			return nil, err
+		}
+		return f, nil
+	}
+	f.Lock(mode)
+	if mode == Write && t.wlatched != nil {
+		if err := t.wlatched.WriteLatched(clk, f.id, f.slot); err != nil {
+			// Leave the latch and pin as they stand: the CXL error model is
+			// a host crash, and crashed-host DRAM state is abandoned whole,
+			// not unwound (the sweep harness recovers into a fresh pool).
+			return nil, err
+		}
+	}
+	return f, nil
+}
+
+// finishLoad publishes a loaded slot and wakes waiters.
+func (t *Table) finishLoad(f *Frame, slot any, dirty bool) {
+	f.slot = slot
+	f.dirty.Store(dirty)
+	f.ready.Store(true)
+	close(f.loaded)
+	t.ringAdd(f)
+}
+
+// abortLoad withdraws a loading placeholder after a failed Fetch/Create.
+func (t *Table) abortLoad(f *Frame) {
+	sh := t.shardOf(f.id)
+	sh.mu.Lock()
+	delete(sh.frames, f.id)
+	sh.mu.Unlock()
+	f.pins.Add(-1)
+	t.resident.Add(-1)
+	close(f.loaded) // ready stays false: waiters retry as a fresh miss
+}
+
+// retire discards a frame a Revalidator rejected, returning its slot to
+// the store. Only the caller that wins the removal race runs the cleanup;
+// the identity check keeps a re-registered successor frame safe.
+func (t *Table) retire(clk *simclock.Clock, f *Frame) {
+	sh := t.shardOf(f.id)
+	sh.mu.Lock()
+	if cur, ok := sh.frames[f.id]; !ok || cur != f || f.pins.Load() > 0 {
+		sh.mu.Unlock()
+		return // gone already, superseded, or still pinned elsewhere
+	}
+	delete(sh.frames, f.id)
+	sh.mu.Unlock()
+	t.detach(f)
+	if t.evictor != nil {
+		// Slot recycling, not a capacity eviction: no Evictions count.
+		_ = t.evictor.Evict(clk, f.id, f.slot, false)
+	}
+}

@@ -1,15 +1,16 @@
 package sharing
 
 import (
-	"container/list"
+	"errors"
 	"fmt"
-	"sync"
 
 	"polarcxlmem/internal/buffer"
 	"polarcxlmem/internal/cxl"
+	"polarcxlmem/internal/frametab"
 	"polarcxlmem/internal/page"
 	"polarcxlmem/internal/rdma"
 	"polarcxlmem/internal/simclock"
+	"polarcxlmem/internal/storage"
 )
 
 // RDMASharedPool implements buffer.Pool over the RDMA-MP baseline, so the
@@ -18,144 +19,116 @@ import (
 // every write-lock release pushes the whole page back and fans invalidation
 // messages to the other nodes. The engine-level counterpart of SharedPool,
 // with the same driving constraints (writers serialized across nodes).
+//
+// The local-copy cache (LBP) is a frametab table over an rdmaStore: slots
+// are whole-page images fetched from the DBP, and invalidation delivery is
+// the table's TakeIfIdle (pinned copies are left in place — the holder owns
+// the page lock, so a concurrent invalidation for it cannot happen).
 type RDMASharedPool struct {
 	node   string
 	fusion *RDMAFusion
 	nic    *rdma.NIC
 
-	mu       sync.Mutex
-	frames   map[uint64]*mpFrame
-	lru      *list.List
-	capacity int
-	barrier  buffer.FlushBarrier
-	stats    buffer.Stats
+	tab     *frametab.Table
+	barrier buffer.FlushBarrier
 }
 
-var _ buffer.Pool = (*RDMASharedPool)(nil)
+var (
+	_ buffer.Pool    = (*RDMASharedPool)(nil)
+	_ buffer.Creator = (*RDMASharedPool)(nil)
+)
 
-type mpFrame struct {
-	id   uint64
-	img  []byte
-	pins int
-	elem *list.Element
+// rdmaStore is RDMASharedPool's frametab backend: slots are local page
+// copies pulled whole from the DBP.
+type rdmaStore struct {
+	p *RDMASharedPool
 }
 
 // NewRDMASharedPool builds one node's engine-facing view of the RDMA DBP
 // with an LBP of capacityPages local copies.
 func NewRDMASharedPool(node string, fusion *RDMAFusion, nic *rdma.NIC, capacityPages int) *RDMASharedPool {
-	p := &RDMASharedPool{
-		node:     node,
-		fusion:   fusion,
-		nic:      nic,
-		frames:   make(map[uint64]*mpFrame),
-		lru:      list.New(),
-		capacity: capacityPages,
-	}
+	p := &RDMASharedPool{node: node, fusion: fusion, nic: nic}
+	p.tab = frametab.New(frametab.Config{
+		Capacity: capacityPages,
+		Store:    &rdmaStore{p: p},
+		NotFound: storage.ErrNotFound,
+	})
 	fusion.mu.Lock()
 	fusion.nodes[node] = p
 	fusion.mu.Unlock()
 	return p
 }
 
-// dropLocal implements invalidation delivery: a peer's write obsoleted our
-// copy. Pinned frames are left in place — the holder owns the page lock, so
-// a concurrent invalidation for it cannot happen; unpinned copies go.
-func (p *RDMASharedPool) dropLocal(pageID uint64) {
-	p.mu.Lock()
-	if f, ok := p.frames[pageID]; ok && f.pins == 0 {
-		p.lru.Remove(f.elem)
-		delete(p.frames, pageID)
-	}
-	p.mu.Unlock()
-}
-
-// SetFlushBarrier implements buffer.Pool.
-func (p *RDMASharedPool) SetFlushBarrier(fb buffer.FlushBarrier) { p.barrier = fb }
-
-// Stats implements buffer.Pool.
-func (p *RDMASharedPool) Stats() buffer.Stats {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.stats
-}
-
-// Resident implements buffer.Pool: the LBP copies this node holds — the
-// memory overhead the paper charges against this design.
-func (p *RDMASharedPool) Resident() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return len(p.frames)
-}
-
-// NIC exposes the node's NIC for bandwidth accounting.
-func (p *RDMASharedPool) NIC() *rdma.NIC { return p.nic }
-
-// localFrame returns the LBP copy, fetching the whole page over RDMA on a
-// miss. Caller must hold the page lock.
-func (p *RDMASharedPool) localFrame(clk *simclock.Clock, id uint64) (*mpFrame, error) {
-	p.mu.Lock()
-	if f, ok := p.frames[id]; ok {
-		f.pins++
-		p.lru.MoveToFront(f.elem)
-		p.stats.Hits++
-		p.mu.Unlock()
-		return f, nil
-	}
-	p.stats.Misses++
-	for len(p.frames) >= p.capacity {
-		evicted := false
-		for e := p.lru.Back(); e != nil; e = e.Prev() {
-			f := e.Value.(*mpFrame)
-			if f.pins > 0 {
-				continue
-			}
-			p.lru.Remove(e)
-			delete(p.frames, f.id)
-			p.stats.Evictions++
-			evicted = true
-			break
-		}
-		if !evicted {
-			p.mu.Unlock()
-			return nil, fmt.Errorf("sharing: node %s LBP fully pinned", p.node)
-		}
-	}
-	f := &mpFrame{id: id, img: make([]byte, page.Size), pins: 1}
-	f.elem = p.lru.PushFront(f)
-	p.frames[id] = f
-	p.stats.RemoteReads++
-	p.mu.Unlock()
-
+// fetch pulls page id's current image from the DBP over RDMA. The caller
+// must hold the page lock, so the image cannot move underneath the read.
+func (s *rdmaStore) fetch(clk *simclock.Clock, id uint64) ([]byte, error) {
+	p := s.p
+	p.tab.Counters.RemoteReads.Add(1)
 	p.fusion.mu.Lock()
 	ps := p.fusion.pages[id]
 	p.fusion.mu.Unlock()
 	if ps == nil {
 		return nil, fmt.Errorf("sharing: frame for unregistered page %d", id)
 	}
-	if err := p.fusion.dbp.Read(clk, p.nic, ps.off, f.img); err != nil {
+	img := make([]byte, page.Size)
+	if err := p.fusion.dbp.Read(clk, p.nic, ps.off, img); err != nil {
 		return nil, err
 	}
-	return f, nil
+	return img, nil
 }
+
+// Fetch implements frametab.FrameStore.
+func (s *rdmaStore) Fetch(clk *simclock.Clock, id uint64) (any, bool, error) {
+	img, err := s.fetch(clk, id)
+	if err != nil {
+		return nil, false, err
+	}
+	// Dirtiness is tracked at the fusion server, not per local copy.
+	return img, false, nil
+}
+
+// Create implements frametab.FrameStore: the DBP frame was just created
+// (zero-filled) by the fusion server; pull it like any other page.
+func (s *rdmaStore) Create(clk *simclock.Clock, id uint64) (any, error) {
+	return s.fetch(clk, id)
+}
+
+// Evict implements frametab.EvictStore: dropping a local copy costs
+// nothing — the DBP holds the authoritative image (write-lock releases
+// pushed every modification before the lock could move).
+func (s *rdmaStore) Evict(clk *simclock.Clock, id uint64, slot any, dirty bool) error {
+	return nil
+}
+
+// dropLocal implements invalidation delivery: a peer's write obsoleted our
+// copy. Pinned frames are left in place — the holder owns the page lock, so
+// a concurrent invalidation for it cannot happen; unpinned copies go.
+func (p *RDMASharedPool) dropLocal(pageID uint64) {
+	p.tab.TakeIfIdle(pageID)
+}
+
+// SetFlushBarrier implements buffer.Pool.
+func (p *RDMASharedPool) SetFlushBarrier(fb buffer.FlushBarrier) { p.barrier = fb }
+
+// Stats implements buffer.Pool.
+func (p *RDMASharedPool) Stats() buffer.Stats { return p.tab.Stats() }
+
+// Resident implements buffer.Pool: the LBP copies this node holds — the
+// memory overhead the paper charges against this design.
+func (p *RDMASharedPool) Resident() int { return p.tab.Resident() }
+
+// PinnedFrames reports frames with live pins (conformance leak check).
+func (p *RDMASharedPool) PinnedFrames() int { return p.tab.PinnedFrames() }
+
+// NIC exposes the node's NIC for bandwidth accounting.
+func (p *RDMASharedPool) NIC() *rdma.NIC { return p.nic }
 
 // Get implements buffer.Pool.
 func (p *RDMASharedPool) Get(clk *simclock.Clock, id uint64, mode buffer.Mode) (buffer.Frame, error) {
 	if _, err := p.fusion.getPage(clk, p.node, id); err != nil {
 		return nil, err
 	}
-	if err := p.fusion.Lock(clk, id, mode == buffer.Write); err != nil {
-		return nil, err
-	}
-	f, err := p.localFrame(clk, id)
-	if err != nil {
-		if mode == buffer.Write {
-			p.fusion.UnlockWrite(clk, p.node, id)
-		} else {
-			p.fusion.UnlockRead(clk, id)
-		}
-		return nil, err
-	}
-	return &mpBound{pool: p, clk: clk, f: f, mode: mode}, nil
+	return p.lockAndBind(clk, id, mode)
 }
 
 // NewPage implements buffer.Pool: a globally fresh page.
@@ -164,15 +137,42 @@ func (p *RDMASharedPool) NewPage(clk *simclock.Clock) (buffer.Frame, error) {
 	if _, err := p.fusion.createPage(clk, p.node, id); err != nil {
 		return nil, err
 	}
-	if err := p.fusion.Lock(clk, id, true); err != nil {
+	return p.lockAndBind(clk, id, buffer.Write)
+}
+
+// GetOrCreate write-locks page id, creating it DBP-wide when it has no
+// durable image yet (recovery redo of post-checkpoint page creations).
+func (p *RDMASharedPool) GetOrCreate(clk *simclock.Clock, id uint64) (buffer.Frame, error) {
+	f, err := p.Get(clk, id, buffer.Write)
+	if err == nil {
+		return f, nil
+	}
+	if !errors.Is(err, storage.ErrNotFound) {
 		return nil, err
 	}
-	f, err := p.localFrame(clk, id)
+	if _, cerr := p.fusion.createPage(clk, p.node, id); cerr != nil {
+		return nil, cerr
+	}
+	return p.lockAndBind(clk, id, buffer.Write)
+}
+
+// lockAndBind takes the distributed page lock, then materializes the local
+// copy through the table (lock first: the copy must reflect the image the
+// lock protects).
+func (p *RDMASharedPool) lockAndBind(clk *simclock.Clock, id uint64, mode buffer.Mode) (buffer.Frame, error) {
+	if err := p.fusion.Lock(clk, id, mode == buffer.Write); err != nil {
+		return nil, err
+	}
+	f, err := p.tab.Get(clk, id, mode)
 	if err != nil {
-		p.fusion.UnlockWrite(clk, p.node, id)
+		if mode == buffer.Write {
+			p.fusion.UnlockWrite(clk, p.node, id)
+		} else {
+			p.fusion.UnlockRead(clk, id)
+		}
 		return nil, err
 	}
-	return &mpBound{pool: p, clk: clk, f: f, mode: buffer.Write}, nil
+	return &mpBound{pool: p, clk: clk, id: id, fr: f, img: f.Slot().([]byte), mode: mode}, nil
 }
 
 // FlushAll implements buffer.Pool: checkpointing the DBP through the fusion
@@ -185,72 +185,74 @@ func (p *RDMASharedPool) FlushAll(clk *simclock.Clock) error {
 type mpBound struct {
 	pool     *RDMASharedPool
 	clk      *simclock.Clock
-	f        *mpFrame
+	id       uint64
+	fr       *frametab.Frame
+	img      []byte
 	mode     buffer.Mode
 	released bool
 	wrote    bool
 }
 
-func (b *mpBound) ID() uint64 { return b.f.id }
+func (b *mpBound) ID() uint64 { return b.id }
 
 func (b *mpBound) MarkDirty() {}
 
 func (b *mpBound) ReadAt(off int, buf []byte) error {
 	if b.released {
-		return fmt.Errorf("sharing: read on released mp frame %d", b.f.id)
+		return fmt.Errorf("sharing: read on released mp frame %d", b.id)
 	}
-	if off < 0 || off+len(buf) > len(b.f.img) {
+	if off < 0 || off+len(buf) > len(b.img) {
 		return fmt.Errorf("sharing: mp read out of bounds")
 	}
-	copy(buf, b.f.img[off:])
+	copy(buf, b.img[off:])
 	b.clk.Advance(cxl.BufferDRAMProfile().ReadCost(len(buf)))
 	return nil
 }
 
 func (b *mpBound) WriteAt(off int, data []byte) error {
 	if b.released {
-		return fmt.Errorf("sharing: write on released mp frame %d", b.f.id)
+		return fmt.Errorf("sharing: write on released mp frame %d", b.id)
 	}
 	if b.mode != buffer.Write {
-		return fmt.Errorf("sharing: write to page %d under a read lock", b.f.id)
+		return fmt.Errorf("sharing: write to page %d under a read lock", b.id)
 	}
-	if off < 0 || off+len(data) > len(b.f.img) {
+	if off < 0 || off+len(data) > len(b.img) {
 		return fmt.Errorf("sharing: mp write out of bounds")
 	}
-	copy(b.f.img[off:], data)
+	copy(b.img[off:], data)
 	b.clk.Advance(cxl.BufferDRAMProfile().WriteCost(len(data)))
 	b.wrote = true
 	return nil
 }
 
 // Release implements buffer.Frame: the PolarDB-MP release protocol — push
-// the FULL page to the DBP before the lock can move, then invalidate.
+// the FULL page to the DBP before the lock can move, then invalidate. The
+// local pin drops first (as in the pre-frametab pool): the push works on
+// the image this bound frame holds, and a concurrent eviction of the
+// now-unpinned table entry cannot disturb it.
 func (b *mpBound) Release() error {
 	if b.released {
-		return fmt.Errorf("sharing: double release of mp frame %d", b.f.id)
+		return fmt.Errorf("sharing: double release of mp frame %d", b.id)
 	}
 	b.released = true
 	p := b.pool
-	p.mu.Lock()
-	b.f.pins--
-	p.mu.Unlock()
+	b.fr.Unlock(b.mode)
+	p.tab.Unpin(b.fr)
 	if b.mode == buffer.Write {
 		if b.wrote {
 			p.fusion.mu.Lock()
-			ps := p.fusion.pages[b.f.id]
+			ps := p.fusion.pages[b.id]
 			p.fusion.mu.Unlock()
 			if ps == nil {
-				return fmt.Errorf("sharing: release of unregistered page %d", b.f.id)
+				return fmt.Errorf("sharing: release of unregistered page %d", b.id)
 			}
-			p.mu.Lock()
-			p.stats.RemoteWrites++
-			p.mu.Unlock()
-			if err := p.fusion.dbp.Write(b.clk, p.nic, ps.off, b.f.img); err != nil {
+			p.tab.Counters.RemoteWrites.Add(1)
+			if err := p.fusion.dbp.Write(b.clk, p.nic, ps.off, b.img); err != nil {
 				return err
 			}
-			return p.fusion.UnlockWrite(b.clk, p.node, b.f.id)
+			return p.fusion.UnlockWrite(b.clk, p.node, b.id)
 		}
-		return p.fusion.unlockWriteCleanRDMA(b.clk, b.f.id)
+		return p.fusion.unlockWriteCleanRDMA(b.clk, b.id)
 	}
-	return p.fusion.UnlockRead(b.clk, b.f.id)
+	return p.fusion.UnlockRead(b.clk, b.id)
 }

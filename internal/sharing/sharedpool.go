@@ -5,10 +5,12 @@ import (
 	"sync"
 
 	"polarcxlmem/internal/buffer"
+	"polarcxlmem/internal/frametab"
 	"polarcxlmem/internal/page"
 	"polarcxlmem/internal/simclock"
 	"polarcxlmem/internal/simcpu"
 	"polarcxlmem/internal/simmem"
+	"polarcxlmem/internal/storage"
 )
 
 // SharedPool implements buffer.Pool over the distributed buffer pool, which
@@ -20,12 +22,19 @@ import (
 //
 //   - Get's latch is the DISTRIBUTED page lock — the paper's page-lock
 //     integration (§3.3): mini-transactions hold these locks until commit,
-//     exactly as PolarDB-MP's 2PL prescribes.
+//     exactly as PolarDB-MP's 2PL prescribes. The pool plugs it in as the
+//     table's frametab.Latcher, replacing the frame-local latch entirely.
 //   - A write-latched frame is released by clflushing the page's dirty
 //     lines (publication) and unlocking at the fusion server, which flips
 //     the other nodes' invalid flags.
-//   - Get honours this node's removal and invalid flags before handing the
-//     frame out, so cached lines never go stale.
+//   - Get honours this node's removal flag (a frametab.Revalidator: a
+//     removed entry is retired and re-registered) and invalid flag (inside
+//     Latch, under the page lock) before handing the frame out, so cached
+//     lines never go stale.
+//
+// The node's metadata entries live in a frametab table whose capacity is the
+// flag-region slot count; entry recycling is the table's pin-aware eviction,
+// so an entry can never be recycled out from under a live frame.
 //
 // Every node shares one wal.Log (a single global log stream) and one
 // storage.Store; unit-id spaces are disambiguated by the caller (give each
@@ -43,15 +52,24 @@ type SharedPool struct {
 	flags  *simmem.Region
 	dbp    *simmem.Region
 
-	mu        sync.Mutex
-	meta      map[uint64]*pmeta
-	freeSlots []int
-	nslots    int
-	barrier   buffer.FlushBarrier
-	stats     buffer.Stats
+	tab     *frametab.Table
+	sst     *sharedStore
+	barrier buffer.FlushBarrier
 }
 
-var _ buffer.Pool = (*SharedPool)(nil)
+var (
+	_ buffer.Pool    = (*SharedPool)(nil)
+	_ buffer.Creator = (*SharedPool)(nil)
+)
+
+// sharedStore is SharedPool's frametab backend: slots are *pmeta entries
+// pointing at a flag-word pair and a DBP frame address.
+type sharedStore struct {
+	p *SharedPool
+
+	mu        sync.Mutex
+	freeSlots []int
+}
 
 // NewSharedPool builds one node's view of the distributed buffer pool.
 func NewSharedPool(node string, fusion *Fusion, cache *simcpu.Cache, flagRegion *simmem.Region) *SharedPool {
@@ -61,12 +79,17 @@ func NewSharedPool(node string, fusion *Fusion, cache *simcpu.Cache, flagRegion 
 		cache:  cache,
 		flags:  flagRegion,
 		dbp:    fusion.Region(),
-		meta:   make(map[uint64]*pmeta),
-		nslots: int(flagRegion.Size() / flagEntrySize),
 	}
-	for i := p.nslots - 1; i >= 0; i-- {
-		p.freeSlots = append(p.freeSlots, i)
+	nslots := int(flagRegion.Size() / flagEntrySize)
+	p.sst = &sharedStore{p: p}
+	for i := nslots - 1; i >= 0; i-- {
+		p.sst.freeSlots = append(p.sst.freeSlots, i)
 	}
+	p.tab = frametab.New(frametab.Config{
+		Capacity: nslots,
+		Store:    p.sst,
+		NotFound: storage.ErrNotFound,
+	})
 	return p
 }
 
@@ -75,61 +98,32 @@ func NewSharedPool(node string, fusion *Fusion, cache *simcpu.Cache, flagRegion 
 func (p *SharedPool) SetFlushBarrier(fb buffer.FlushBarrier) { p.barrier = fb }
 
 // Stats implements buffer.Pool.
-func (p *SharedPool) Stats() buffer.Stats {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.stats
-}
+func (p *SharedPool) Stats() buffer.Stats { return p.tab.Stats() }
 
 // Resident implements buffer.Pool: like PolarCXLMem, a node holds no page
 // data locally — only metadata entries.
-func (p *SharedPool) Resident() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return len(p.meta)
-}
+func (p *SharedPool) Resident() int { return p.tab.Resident() }
+
+// PinnedFrames reports entries with live pins (conformance leak check).
+func (p *SharedPool) PinnedFrames() int { return p.tab.PinnedFrames() }
 
 func (p *SharedPool) flagOffsets(slot int) flagAddrs {
 	base := p.flags.Base() + int64(slot)*flagEntrySize
 	return flagAddrs{invalid: base, removal: base + 8}
 }
 
-// ensure returns the node's metadata for pageID, registering with the
-// fusion server on first use or after a removal. create selects the
-// fresh-page path (no storage image yet).
-func (p *SharedPool) ensure(clk *simclock.Clock, pageID uint64, create bool) (*pmeta, error) {
-	p.mu.Lock()
-	m, ok := p.meta[pageID]
-	p.mu.Unlock()
-	if ok {
-		fa := p.flagOffsets(m.slot)
-		removed, err := p.fusion.dev.Load64(clk, fa.removal)
-		if err != nil {
-			return nil, err
-		}
-		if removed == 0 {
-			return m, nil
-		}
-		p.mu.Lock()
-		delete(p.meta, pageID)
-		p.freeSlots = append(p.freeSlots, m.slot)
-		p.mu.Unlock()
+// register claims a flag slot and registers with the fusion server; create
+// selects the fresh-page path (no storage image yet).
+func (s *sharedStore) register(clk *simclock.Clock, pageID uint64, create bool) (*pmeta, error) {
+	p := s.p
+	s.mu.Lock()
+	if len(s.freeSlots) == 0 {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("sharing: node %s pool metadata full", p.node)
 	}
-	p.mu.Lock()
-	if len(p.freeSlots) == 0 {
-		for id, om := range p.meta {
-			delete(p.meta, id)
-			p.freeSlots = append(p.freeSlots, om.slot)
-			break
-		}
-		if len(p.freeSlots) == 0 {
-			p.mu.Unlock()
-			return nil, fmt.Errorf("sharing: node %s pool metadata full", p.node)
-		}
-	}
-	slot := p.freeSlots[len(p.freeSlots)-1]
-	p.freeSlots = p.freeSlots[:len(p.freeSlots)-1]
-	p.mu.Unlock()
+	slot := s.freeSlots[len(s.freeSlots)-1]
+	s.freeSlots = s.freeSlots[:len(s.freeSlots)-1]
+	s.mu.Unlock()
 	fa := p.flagOffsets(slot)
 	if err := p.fusion.dev.Store64(clk, fa.invalid, 0); err != nil {
 		return nil, err
@@ -145,20 +139,82 @@ func (p *SharedPool) ensure(clk *simclock.Clock, pageID uint64, create bool) (*p
 		off, err = p.fusion.GetPage(clk, p.node, pageID, fa)
 	}
 	if err != nil {
-		p.mu.Lock()
-		p.freeSlots = append(p.freeSlots, slot)
-		p.mu.Unlock()
+		s.mu.Lock()
+		s.freeSlots = append(s.freeSlots, slot)
+		s.mu.Unlock()
 		return nil, err
 	}
 	// Install-time invalidation: the frame may have had another tenant.
 	if err := p.cache.Flush(clk, p.dbp, off, page.Size); err != nil {
 		return nil, err
 	}
-	m = &pmeta{slot: slot, dataOff: off}
-	p.mu.Lock()
-	p.meta[pageID] = m
-	p.mu.Unlock()
+	return &pmeta{slot: slot, dataOff: off}, nil
+}
+
+// Fetch implements frametab.FrameStore.
+func (s *sharedStore) Fetch(clk *simclock.Clock, id uint64) (any, bool, error) {
+	m, err := s.register(clk, id, false)
+	if err != nil {
+		return nil, false, err
+	}
+	// Dirtiness is tracked at the fusion server (write-unlock), not per node.
+	return m, false, nil
+}
+
+// Create implements frametab.FrameStore: a globally fresh, zero-filled DBP
+// page.
+func (s *sharedStore) Create(clk *simclock.Clock, id uint64) (any, error) {
+	m, err := s.register(clk, id, true)
+	if err != nil {
+		return nil, err
+	}
 	return m, nil
+}
+
+// Evict implements frametab.EvictStore: recycling a metadata entry only
+// returns the flag slot — the page itself lives at the fusion server.
+func (s *sharedStore) Evict(clk *simclock.Clock, id uint64, slot any, dirty bool) error {
+	m := slot.(*pmeta)
+	s.mu.Lock()
+	s.freeSlots = append(s.freeSlots, m.slot)
+	s.mu.Unlock()
+	return nil
+}
+
+// Revalidate implements frametab.Revalidator: the fusion server sets our
+// removal flag when it recycles the DBP frame; a removed entry must be
+// retired and re-registered.
+func (s *sharedStore) Revalidate(clk *simclock.Clock, id uint64, slot any) (bool, error) {
+	m := slot.(*pmeta)
+	fa := s.p.flagOffsets(m.slot)
+	removed, err := s.p.fusion.dev.Load64(clk, fa.removal)
+	if err != nil {
+		return false, err
+	}
+	return removed == 0, nil
+}
+
+// Latch implements frametab.Latcher: the distributed page lock, plus the
+// invalid-flag check that must run under it. fresh pages (our own create)
+// skip the check — no other node has ever held them.
+func (s *sharedStore) Latch(clk *simclock.Clock, id uint64, slot any, write, fresh bool) error {
+	p := s.p
+	m := slot.(*pmeta)
+	if err := p.fusion.Lock(clk, id, write); err != nil {
+		return err
+	}
+	if fresh {
+		return nil
+	}
+	if err := p.honourInvalid(clk, m); err != nil {
+		if write {
+			p.fusion.UnlockWrite(clk, p.node, id)
+		} else {
+			p.fusion.UnlockRead(clk, id)
+		}
+		return err
+	}
+	return nil
 }
 
 // honourInvalid drops possibly-stale cached lines when this node's invalid
@@ -180,43 +236,32 @@ func (p *SharedPool) honourInvalid(clk *simclock.Clock, m *pmeta) error {
 
 // Get implements buffer.Pool: the latch is the distributed page lock.
 func (p *SharedPool) Get(clk *simclock.Clock, id uint64, mode buffer.Mode) (buffer.Frame, error) {
-	m, err := p.ensure(clk, id, false)
+	f, err := p.tab.Get(clk, id, mode)
 	if err != nil {
 		return nil, err
 	}
-	p.mu.Lock()
-	p.stats.Hits++
-	p.mu.Unlock()
-	if err := p.fusion.Lock(clk, id, mode == buffer.Write); err != nil {
-		return nil, err
-	}
-	if err := p.honourInvalid(clk, m); err != nil {
-		p.unlockErr(clk, id, mode)
-		return nil, err
-	}
-	return &sharedFrame{pool: p, clk: clk, id: id, m: m, mode: mode}, nil
+	return &sharedFrame{pool: p, clk: clk, id: id, fr: f, m: f.Slot().(*pmeta), mode: mode}, nil
 }
 
 // NewPage implements buffer.Pool: a globally fresh page, zero-filled in the
 // DBP.
 func (p *SharedPool) NewPage(clk *simclock.Clock) (buffer.Frame, error) {
 	id := p.fusion.store.AllocPageID()
-	m, err := p.ensure(clk, id, true)
+	f, err := p.tab.Create(clk, id)
 	if err != nil {
 		return nil, err
 	}
-	if err := p.fusion.Lock(clk, id, true); err != nil {
-		return nil, err
-	}
-	return &sharedFrame{pool: p, clk: clk, id: id, m: m, mode: buffer.Write}, nil
+	return &sharedFrame{pool: p, clk: clk, id: id, fr: f, m: f.Slot().(*pmeta), mode: buffer.Write}, nil
 }
 
-func (p *SharedPool) unlockErr(clk *simclock.Clock, id uint64, mode buffer.Mode) {
-	if mode == buffer.Write {
-		p.fusion.UnlockWrite(clk, p.node, id)
-	} else {
-		p.fusion.UnlockRead(clk, id)
+// GetOrCreate write-locks page id, creating it DBP-wide when it has no
+// durable image yet (recovery redo of post-checkpoint page creations).
+func (p *SharedPool) GetOrCreate(clk *simclock.Clock, id uint64) (buffer.Frame, error) {
+	f, err := p.tab.GetOrCreate(clk, id)
+	if err != nil {
+		return nil, err
 	}
+	return &sharedFrame{pool: p, clk: clk, id: id, fr: f, m: f.Slot().(*pmeta), mode: buffer.Write}, nil
 }
 
 // FlushAll implements buffer.Pool: checkpointing the DBP is the fusion
@@ -231,6 +276,7 @@ type sharedFrame struct {
 	pool     *SharedPool
 	clk      *simclock.Clock
 	id       uint64
+	fr       *frametab.Frame
 	m        *pmeta
 	mode     buffer.Mode
 	released bool
@@ -268,6 +314,7 @@ func (f *sharedFrame) Release() error {
 	}
 	f.released = true
 	p := f.pool
+	defer p.tab.Unpin(f.fr)
 	if f.mode == buffer.Write {
 		if f.wrote {
 			if err := p.cache.Flush(f.clk, p.dbp, f.m.dataOff, page.Size); err != nil {
