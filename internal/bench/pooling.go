@@ -39,18 +39,26 @@ func runTable1(cfg Config) ([]*Table, error) {
 		{"CXL w/o switch", cxl.NoSwitchProfile(), cxl.NoSwitchRemoteProfile(), 265, 346},
 		{"CXL w. switch", cxl.SwitchProfile(), cxl.SwitchRemoteProfile(), 549, 651},
 	}
-	measure := func(p simmem.Profile) int64 {
+	measure := func(p simmem.Profile) (int64, error) {
 		dev := simmem.NewDevice("probe", 4096, p, nil)
 		clk := simclock.New()
 		if _, err := dev.WholeRegion().Load64(clk, 0); err != nil {
-			panic(err)
+			return 0, err
 		}
-		return clk.Now()
+		return clk.Now(), nil
 	}
 	for _, r := range rows {
+		local, err := measure(r.local)
+		if err != nil {
+			return nil, fmt.Errorf("table1: probing %s local: %w", r.name, err)
+		}
+		remote, err := measure(r.remote)
+		if err != nil {
+			return nil, fmt.Errorf("table1: probing %s remote: %w", r.name, err)
+		}
 		t.AddRow(r.name,
-			fmt.Sprintf("%d", measure(r.local)),
-			fmt.Sprintf("%d", measure(r.remote)),
+			fmt.Sprintf("%d", local),
+			fmt.Sprintf("%d", remote),
 			fmt.Sprintf("%d", r.pl), fmt.Sprintf("%d", r.pr))
 	}
 	t.Notes = append(t.Notes, "calibration echo: these devices are the substrate every experiment runs on")

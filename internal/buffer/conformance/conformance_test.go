@@ -16,6 +16,7 @@ import (
 	"polarcxlmem/internal/buffer"
 	"polarcxlmem/internal/core"
 	"polarcxlmem/internal/cxl"
+	"polarcxlmem/internal/fault"
 	"polarcxlmem/internal/page"
 	"polarcxlmem/internal/rdma"
 	"polarcxlmem/internal/sharing"
@@ -466,5 +467,40 @@ func TestParallelGetSharedPage(t *testing.T) {
 		for err := range errs {
 			t.Fatal(err)
 		}
+	})
+}
+
+// TestTransientStoreFaultSurfacesCleanly: the backing store fails exactly
+// one page read with a transient error. The pool must surface the injected
+// error (wrapped, so callers can errors.Is it), leak neither a frame nor a
+// pin, and succeed on an immediate retry once the store recovers.
+func TestTransientStoreFaultSurfacesCleanly(t *testing.T) {
+	forEachPool(t, func(t *testing.T, r *rig) {
+		clk := simclock.New()
+		id := seedPage(t, r.store, 5, 0xAB)
+		resident := r.pool.Resident()
+
+		r.store.SetInjector(fault.NewPlan(1).FailAt(fault.OpStoreRead, 1, fault.ErrInjected))
+		if _, err := r.pool.Get(clk, id, buffer.Read); !errors.Is(err, fault.ErrInjected) {
+			t.Fatalf("Get during store fault = %v, want the injected error", err)
+		}
+		if n := r.pinned(); n != 0 {
+			t.Fatalf("failed Get leaked %d pins", n)
+		}
+		if n := r.pool.Resident(); n != resident {
+			t.Fatalf("failed Get leaked a frame: resident %d -> %d", resident, n)
+		}
+
+		// The hiccup was transient: the very next attempt must succeed.
+		r.store.SetInjector(nil)
+		f, err := r.pool.Get(clk, id, buffer.Read)
+		if err != nil {
+			t.Fatalf("retry after transient fault: %v", err)
+		}
+		buf := make([]byte, 1)
+		if err := f.ReadAt(payloadOff, buf); err != nil || buf[0] != 0xAB {
+			t.Fatalf("retry read payload = %x, %v; want ab", buf, err)
+		}
+		release(t, f)
 	})
 }

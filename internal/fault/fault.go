@@ -50,9 +50,17 @@ const (
 	// OpWriteBack: one dirty-line eviction write-back in simcpu.Cache.
 	// Dropping it silently loses the line's data.
 	OpWriteBack Op = "cache-writeback"
-	// OpNetSend: one simnet.Fabric.Call; bytes accumulate the request sizes,
-	// so FailAfterBytes models a link that dies after M bytes.
+	// OpNetSend: one send attempt of a simnet.Fabric.Call (retries count
+	// again); bytes accumulate the request sizes, so FailAfterBytes models a
+	// link that dies after M bytes.
 	OpNetSend Op = "net-send"
+	// OpNetRecv: one reply delivery of a simnet.Fabric.Call, consulted after
+	// the handler ran. Dropping it models a lost reply: the server did the
+	// work, the caller never heard — the idempotent-request-ID surface.
+	OpNetRecv Op = "net-recv"
+	// OpStoreRead: one storage.Store.ReadPage. Failing it models a transient
+	// backing-store read error (the pool-conformance transient-fault case).
+	OpStoreRead Op = "store-read"
 	// OpFrameAlloc: one DBP frame allocation in sharing.Fusion. Failing it
 	// with ErrNoSpace models ENOSPC from the CXL memory manager.
 	OpFrameAlloc Op = "frame-alloc"
@@ -76,6 +84,9 @@ var (
 	ErrDrop = errors.New("fault: injected drop")
 	// ErrNoSpace is the canonical payload for FailAt on OpFrameAlloc.
 	ErrNoSpace = errors.New("fault: injected allocation failure (ENOSPC)")
+	// ErrInjected is the generic FailAt payload used by sweeps that only
+	// need "this operation returned an error once" (EIO-style transients).
+	ErrInjected = errors.New("fault: injected transient failure")
 )
 
 // Injector is consulted before an instrumented operation executes. A nil

@@ -23,6 +23,7 @@ type Action string
 const (
 	ActionCrash Action = "crash" // CrashAt: host dies at the point
 	ActionDrop  Action = "drop"  // DropAt: the operation is silently lost
+	ActionFail  Action = "fail"  // FailAt: the operation returns ErrInjected once
 )
 
 // Config parameterizes a sweep.
@@ -92,6 +93,8 @@ func Sweep(tb TB, cfg Config, run func(plan *Plan) error) Result {
 		switch act {
 		case ActionDrop:
 			plan.DropAt(op, idx)
+		case ActionFail:
+			plan.FailAt(op, idx, ErrInjected)
 		default:
 			plan.CrashAt(op, idx)
 		}
@@ -119,8 +122,12 @@ func Sweep(tb TB, cfg Config, run func(plan *Plan) error) Result {
 }
 
 func titleAct(a Action) string {
-	if a == ActionDrop {
+	switch a {
+	case ActionDrop:
 		return "Drop"
+	case ActionFail:
+		return "Fail"
+	default:
+		return "Crash"
 	}
-	return "Crash"
 }

@@ -36,13 +36,24 @@ import (
 	"polarcxlmem/internal/page"
 	"polarcxlmem/internal/simclock"
 	"polarcxlmem/internal/simmem"
+	"polarcxlmem/internal/simnet"
 	"polarcxlmem/internal/storage"
+	"polarcxlmem/internal/wal"
 )
 
 // RPCNanos is the round trip for node <-> fusion control RPCs (lock
 // acquisition, page-address lookup). Both the CXL and RDMA designs pay it —
 // the differentiator is the data path.
 const RPCNanos = 5_000
+
+// rpcMsgBytes is the nominal control-message size charged against the fault
+// injector's OpNetSend byte counter per fusion RPC.
+const rpcMsgBytes = 64
+
+// fusionNode is the fusion server's own identity when it takes page locks
+// for server-side work (checkpoint flush, frame recycling). It never pays
+// the RPC round trip, holds no lease, and writes no durable lock word.
+const fusionNode = "@fusion"
 
 // FlagStoreNanos is the paper's "few hundred nanoseconds" CXL store that
 // sets a remote node's invalid/removal flag.
@@ -61,7 +72,7 @@ type pageState struct {
 	off    int64 // offset of the frame within the DBP region
 	active map[string]flagAddrs
 	dirty  bool // diverged from the storage image
-	lock   sync.RWMutex
+	lk     *pageLock
 	elem   int64 // LRU tick
 }
 
@@ -80,6 +91,16 @@ type Fusion struct {
 	lruTick  int64
 	getCalls int64
 	inj      fault.Injector // optional fault injector; may be nil
+
+	evictMu sync.Mutex // serializes concurrent EvictNode walks
+	leases  *leaseTable
+	pol     LockPolicy
+	retry   *simnet.RetryPolicy // optional RPC retry policy; may be nil
+	rpcSeq  uint64              // per-RPC id for backoff jitter
+	lockTab *simmem.Region      // optional CXL-durable lock words; may be nil
+	nodeIDs map[string]uint64   // node name -> durable lock-word id (from 1)
+	nodeByI map[uint64]string   // inverse of nodeIDs
+	ws      *wal.Store          // optional redo source for EvictNode; may be nil
 }
 
 // NewFusion builds a fusion server over a CXL region, backed by store for
@@ -87,12 +108,117 @@ type Fusion struct {
 // attachment, charged for its bulk page staging.
 func NewFusion(host *cxl.HostPort, region *simmem.Region, store *storage.Store) *Fusion {
 	return &Fusion{
-		host:   host,
-		region: region,
-		dev:    region.Device().WholeRegion(),
-		store:  store,
-		pages:  make(map[uint64]*pageState),
+		host:    host,
+		region:  region,
+		dev:     region.Device().WholeRegion(),
+		store:   store,
+		pages:   make(map[uint64]*pageState),
+		leases:  newLeaseTable(DefaultLeaseNanos),
+		pol:     LockPolicy{}.withDefaults(),
+		nodeIDs: make(map[string]uint64),
+		nodeByI: make(map[uint64]string),
 	}
+}
+
+// SetLockPolicy installs the lock lease/wait/retry parameters (zero fields
+// keep their defaults).
+func (f *Fusion) SetLockPolicy(p LockPolicy) {
+	p = p.withDefaults()
+	f.mu.Lock()
+	f.pol = p
+	f.mu.Unlock()
+	f.leases.setLease(p.LeaseNanos)
+}
+
+// SetRetryPolicy installs (or, with nil, removes) the retry/backoff policy
+// applied to every node<->fusion control RPC, making injected drop/fail
+// triggers on OpNetSend survivable transients.
+func (f *Fusion) SetRetryPolicy(rp *simnet.RetryPolicy) {
+	f.mu.Lock()
+	f.retry = rp
+	f.mu.Unlock()
+}
+
+// SetRecoverySource attaches the cluster WAL so EvictNode can rebuild pages
+// a dead node held write-locked (storage base + committed redo). Without
+// it, eviction falls back to the last checkpointed storage image.
+func (f *Fusion) SetRecoverySource(ws *wal.Store) {
+	f.mu.Lock()
+	f.ws = ws
+	f.mu.Unlock()
+}
+
+// AttachLockTable installs a CXL region holding one durable lock word per
+// DBP frame (8 bytes each): word k mirrors the write-lock holder of the
+// frame at offset k*page.Size, 0 = unlocked. PolarRecv's premise applied to
+// the lock service — the words survive any single node's crash, so
+// EvictNode can trust them even if the fusion server itself restarted.
+func (f *Fusion) AttachLockTable(lw *simmem.Region) error {
+	if need := int64(f.CapacityPages()) * 8; lw.Size() < need {
+		return fmt.Errorf("sharing: lock table needs %d bytes, region has %d", need, lw.Size())
+	}
+	f.mu.Lock()
+	f.lockTab = lw
+	f.mu.Unlock()
+	return nil
+}
+
+// nodeIDLocked returns node's durable lock-word id, assigning the next one
+// on first use. Caller holds f.mu.
+func (f *Fusion) nodeIDLocked(node string) uint64 {
+	if id, ok := f.nodeIDs[node]; ok {
+		return id
+	}
+	id := uint64(len(f.nodeIDs)) + 1
+	f.nodeIDs[node] = id
+	f.nodeByI[id] = node
+	return id
+}
+
+// lockWordOff locates the durable lock word covering frame offset off.
+// Caller must have checked f.lockTab != nil.
+func (f *Fusion) lockWordOff(lockTab *simmem.Region, off int64) int64 {
+	return lockTab.Base() + (off/page.Size)*8
+}
+
+// rpc charges one node->fusion control round trip: reject evicted callers,
+// consult the fault injector (with retry/backoff when a policy is
+// installed), and renew the caller's lease on success.
+func (f *Fusion) rpc(clk *simclock.Clock, node string) error {
+	if node != fusionNode && f.leases.isDead(node) {
+		return fmt.Errorf("sharing: RPC from %s rejected: %w", node, ErrNodeEvicted)
+	}
+	f.mu.Lock()
+	inj := f.inj
+	rp := f.retry
+	f.rpcSeq++
+	seq := f.rpcSeq
+	f.mu.Unlock()
+	attempts := 1
+	if rp != nil && rp.MaxAttempts > 1 {
+		attempts = rp.MaxAttempts
+	}
+	var last error
+	for a := 1; a <= attempts; a++ {
+		var err error
+		if inj != nil {
+			err = inj.Point(fault.OpNetSend, rpcMsgBytes)
+		}
+		if err == nil {
+			clk.Advance(RPCNanos)
+			if node != fusionNode {
+				f.leases.touch(node, clk.Now())
+			}
+			return nil
+		}
+		last = err
+		// A latched crash is the host dying, not a lossy link.
+		if fault.IsCrash(err) || a == attempts {
+			break
+		}
+		clk.Advance(rp.Backoff(seq, a))
+	}
+	return last
 }
 
 // CapacityPages reports how many frames fit in the DBP region.
@@ -160,7 +286,9 @@ func (f *Fusion) allocFrame(clk *simclock.Clock) (int64, error) {
 // the page from storage on first use, and register the caller's flag-word
 // addresses. Charges the RPC round trip.
 func (f *Fusion) GetPage(clk *simclock.Clock, node string, pageID uint64, fa flagAddrs) (int64, error) {
-	clk.Advance(RPCNanos)
+	if err := f.rpc(clk, node); err != nil {
+		return 0, err
+	}
 	f.mu.Lock()
 	f.getCalls++
 	ps, ok := f.pages[pageID]
@@ -170,7 +298,7 @@ func (f *Fusion) GetPage(clk *simclock.Clock, node string, pageID uint64, fa fla
 			f.mu.Unlock()
 			return 0, err
 		}
-		ps = &pageState{id: pageID, off: off, active: make(map[string]flagAddrs)}
+		ps = &pageState{id: pageID, off: off, active: make(map[string]flagAddrs), lk: newPageLock()}
 		f.pages[pageID] = ps
 		f.mu.Unlock()
 		// Load the page image from storage into the CXL frame.
@@ -199,7 +327,9 @@ func (f *Fusion) GetPage(clk *simclock.Clock, node string, pageID uint64, fa fla
 // page that has no storage image yet (B+tree page allocation in the
 // multi-primary deployment). The frame is dirty from birth.
 func (f *Fusion) CreatePage(clk *simclock.Clock, node string, pageID uint64, fa flagAddrs) (int64, error) {
-	clk.Advance(RPCNanos)
+	if err := f.rpc(clk, node); err != nil {
+		return 0, err
+	}
 	f.mu.Lock()
 	if _, exists := f.pages[pageID]; exists {
 		f.mu.Unlock()
@@ -210,7 +340,7 @@ func (f *Fusion) CreatePage(clk *simclock.Clock, node string, pageID uint64, fa 
 		f.mu.Unlock()
 		return 0, err
 	}
-	ps := &pageState{id: pageID, off: off, active: map[string]flagAddrs{node: fa}, dirty: true}
+	ps := &pageState{id: pageID, off: off, active: map[string]flagAddrs{node: fa}, dirty: true, lk: newPageLock()}
 	f.lruTick++
 	ps.elem = f.lruTick
 	f.pages[pageID] = ps
@@ -223,18 +353,22 @@ func (f *Fusion) CreatePage(clk *simclock.Clock, node string, pageID uint64, fa 
 	return off, nil
 }
 
-// unlockWriteClean releases a write lock whose holder modified nothing: no
-// publication, no invalidation fan-out.
-func (f *Fusion) unlockWriteClean(clk *simclock.Clock, pageID uint64) error {
-	clk.Advance(RPCNanos)
+// unlockWriteClean releases node's write lock whose holder modified
+// nothing: no publication, no invalidation fan-out.
+func (f *Fusion) unlockWriteClean(clk *simclock.Clock, node string, pageID uint64) error {
+	if err := f.rpc(clk, node); err != nil {
+		return err
+	}
 	f.mu.Lock()
 	ps := f.pages[pageID]
 	f.mu.Unlock()
 	if ps == nil {
 		return fmt.Errorf("sharing: clean write-unlock of unknown page %d", pageID)
 	}
-	ps.lock.Unlock()
-	return nil
+	if err := f.clearLockWord(clk, ps, node); err != nil {
+		return err
+	}
+	return ps.lk.releaseWrite(node)
 }
 
 // FlushDirty checkpoints the DBP: every dirty frame is staged out of CXL
@@ -253,7 +387,9 @@ func (f *Fusion) FlushDirty(clk *simclock.Clock, barrier func(*simclock.Clock, u
 	sort.Slice(dirty, func(i, j int) bool { return dirty[i].id < dirty[j].id })
 	img := make([]byte, page.Size)
 	for _, ps := range dirty {
-		ps.lock.RLock()
+		if err := acquirePageLock(clk, ps.lk, nil, f.pol, fusionNode, ps.id, false, nil); err != nil {
+			return err
+		}
 		err := f.region.ReadRaw(ps.off, img)
 		if err == nil {
 			f.host.TransferRead(clk, page.Size)
@@ -265,7 +401,9 @@ func (f *Fusion) FlushDirty(clk *simclock.Clock, barrier func(*simclock.Clock, u
 		if err == nil {
 			ps.dirty = false
 		}
-		ps.lock.RUnlock()
+		if rerr := ps.lk.releaseRead(fusionNode); rerr != nil && err == nil {
+			err = rerr
+		}
 		if err != nil {
 			return err
 		}
@@ -273,41 +411,86 @@ func (f *Fusion) FlushDirty(clk *simclock.Clock, barrier func(*simclock.Clock, u
 	return nil
 }
 
-// Lock acquires the distributed page lock (RPC + blocking).
-func (f *Fusion) Lock(clk *simclock.Clock, pageID uint64, write bool) error {
-	clk.Advance(RPCNanos)
+// Lock acquires the distributed page lock for node (RPC + bounded wait).
+// On a write grant, the holder's id is stored in the CXL-durable lock word
+// (when a lock table is attached) before the call returns, so the grant
+// survives any single node's crash. Conflicts wait up to the lock policy's
+// deadline, reclaiming expired dead holders along the way, then fail with a
+// typed LockTimeoutError naming the holder.
+func (f *Fusion) Lock(clk *simclock.Clock, node string, pageID uint64, write bool) error {
+	if err := f.rpc(clk, node); err != nil {
+		return err
+	}
 	f.mu.Lock()
 	ps, ok := f.pages[pageID]
+	pol := f.pol
 	f.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("sharing: lock of unknown page %d", pageID)
 	}
+	reclaim := func(clk *simclock.Clock, dead string) error { return f.EvictNode(clk, dead) }
+	if err := acquirePageLock(clk, ps.lk, f.leases, pol, node, pageID, write, reclaim); err != nil {
+		return err
+	}
 	if write {
-		ps.lock.Lock()
-	} else {
-		ps.lock.RLock()
+		if err := f.recordLockWord(clk, ps, node); err != nil {
+			ps.lk.releaseWrite(node)
+			return err
+		}
 	}
 	return nil
 }
 
-// UnlockRead releases a read lock.
-func (f *Fusion) UnlockRead(clk *simclock.Clock, pageID uint64) error {
-	clk.Advance(RPCNanos)
+// recordLockWord publishes node as the durable write-lock holder of ps.
+func (f *Fusion) recordLockWord(clk *simclock.Clock, ps *pageState, node string) error {
+	f.mu.Lock()
+	lt := f.lockTab
+	var id uint64
+	if lt != nil && node != fusionNode {
+		id = f.nodeIDLocked(node)
+	}
+	f.mu.Unlock()
+	if lt == nil || node == fusionNode {
+		return nil
+	}
+	return f.dev.Store64(clk, f.lockWordOff(lt, ps.off), id)
+}
+
+// clearLockWord erases the durable write-lock word of ps. It must run
+// BEFORE the in-memory release: a stale non-zero word is safe (eviction
+// double-checks against the in-memory state), a cleared word under a held
+// lock would lose the crash evidence.
+func (f *Fusion) clearLockWord(clk *simclock.Clock, ps *pageState, node string) error {
+	f.mu.Lock()
+	lt := f.lockTab
+	f.mu.Unlock()
+	if lt == nil || node == fusionNode {
+		return nil
+	}
+	return f.dev.Store64(clk, f.lockWordOff(lt, ps.off), 0)
+}
+
+// UnlockRead releases node's read lock.
+func (f *Fusion) UnlockRead(clk *simclock.Clock, node string, pageID uint64) error {
+	if err := f.rpc(clk, node); err != nil {
+		return err
+	}
 	f.mu.Lock()
 	ps, ok := f.pages[pageID]
 	f.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("sharing: unlock of unknown page %d", pageID)
 	}
-	ps.lock.RUnlock()
-	return nil
+	return ps.lk.releaseRead(node)
 }
 
 // UnlockWrite releases node's write lock after it flushed its dirty lines,
 // then sets the invalid flag of every OTHER node where the page is active —
 // one CXL store per node, before the lock becomes available again.
 func (f *Fusion) UnlockWrite(clk *simclock.Clock, node string, pageID uint64) error {
-	clk.Advance(RPCNanos)
+	if err := f.rpc(clk, node); err != nil {
+		return err
+	}
 	f.mu.Lock()
 	ps, ok := f.pages[pageID]
 	if ok {
@@ -327,8 +510,10 @@ func (f *Fusion) UnlockWrite(clk *simclock.Clock, node string, pageID uint64) er
 	if !ok {
 		return fmt.Errorf("sharing: write-unlock of unknown page %d", pageID)
 	}
-	ps.lock.Unlock()
-	return nil
+	if err := f.clearLockWord(clk, ps, node); err != nil {
+		return err
+	}
+	return ps.lk.releaseWrite(node)
 }
 
 // recycleLocked evicts the least-recently-requested unlocked page: flush to
@@ -347,10 +532,10 @@ func (f *Fusion) recycleLocked(clk *simclock.Clock) error {
 	if victim == nil {
 		return fmt.Errorf("sharing: nothing to recycle")
 	}
-	if !victim.lock.TryLock() {
+	if ok, _, _ := victim.lk.tryAcquire(fusionNode, true, clk.Now()); !ok {
 		return fmt.Errorf("sharing: LRU victim %d is locked", victim.id)
 	}
-	defer victim.lock.Unlock()
+	defer victim.lk.releaseWrite(fusionNode)
 	if victim.dirty {
 		img := make([]byte, page.Size)
 		if err := f.region.ReadRaw(victim.off, img); err != nil {
@@ -389,3 +574,49 @@ func (f *Fusion) Recycle(clk *simclock.Clock) error {
 	defer f.mu.Unlock()
 	return f.recycleLocked(clk)
 }
+
+// unlockWriteHW releases node's write lock on a hardware-coherent (CXL 3.0)
+// cluster: the page diverged from storage, but no flag fan-out and no
+// clflush publication are needed — the fabric kept every cache coherent.
+func (f *Fusion) unlockWriteHW(clk *simclock.Clock, node string, pageID uint64) error {
+	if err := f.rpc(clk, node); err != nil {
+		return err
+	}
+	f.mu.Lock()
+	ps := f.pages[pageID]
+	if ps != nil {
+		ps.dirty = true
+	}
+	f.mu.Unlock()
+	if ps == nil {
+		return fmt.Errorf("sharing: write-unlock of unknown page %d", pageID)
+	}
+	if err := f.clearLockWord(clk, ps, node); err != nil {
+		return err
+	}
+	return ps.lk.releaseWrite(node)
+}
+
+// CrashNode declares node dead: its RPCs are rejected from now on, and its
+// lock leases stop renewing — once they expire, any waiter (or an explicit
+// EvictNode) reclaims its locks. Survivors keep serving un-conflicted pages
+// throughout; nothing stops the world.
+func (f *Fusion) CrashNode(node string) {
+	f.leases.markDead(node)
+}
+
+// RejoinNode readmits a previously crashed node. Any state the dead node
+// still held (locks, flag registrations) is evicted first, so the node
+// rejoins with a clean slate; its lease restarts at clk.Now().
+func (f *Fusion) RejoinNode(clk *simclock.Clock, node string) error {
+	if f.leases.isDead(node) {
+		if err := f.EvictNode(clk, node); err != nil {
+			return err
+		}
+	}
+	f.leases.revive(node, clk.Now())
+	return nil
+}
+
+// NodeDead reports whether node is currently marked dead.
+func (f *Fusion) NodeDead(node string) bool { return f.leases.isDead(node) }

@@ -21,11 +21,11 @@ func TestFusionLockPathsOnUnknownPage(t *testing.T) {
 		name string
 		call func() error
 	}{
-		{"read-lock", func() error { return r.fusion.Lock(r.clk, ghost, false) }},
-		{"write-lock", func() error { return r.fusion.Lock(r.clk, ghost, true) }},
-		{"unlock-read", func() error { return r.fusion.UnlockRead(r.clk, ghost) }},
+		{"read-lock", func() error { return r.fusion.Lock(r.clk, "node-0", ghost, false) }},
+		{"write-lock", func() error { return r.fusion.Lock(r.clk, "node-0", ghost, true) }},
+		{"unlock-read", func() error { return r.fusion.UnlockRead(r.clk, "node-0", ghost) }},
 		{"unlock-write", func() error { return r.fusion.UnlockWrite(r.clk, "node-0", ghost) }},
-		{"unlock-write-clean", func() error { return r.fusion.unlockWriteClean(r.clk, ghost) }},
+		{"unlock-write-clean", func() error { return r.fusion.unlockWriteClean(r.clk, "node-0", ghost) }},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -69,7 +69,7 @@ func TestUnlockWriteInvalidatesOnlyOtherNodes(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if err := r.fusion.Lock(r.clk, pid, true); err != nil {
+	if err := r.fusion.Lock(r.clk, "node-1", pid, true); err != nil {
 		t.Fatal(err)
 	}
 	if err := r.fusion.UnlockWrite(r.clk, "node-1", pid); err != nil {
@@ -101,10 +101,10 @@ func TestUnlockWriteCleanSkipsInvalidation(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if err := r.fusion.Lock(r.clk, pid, true); err != nil {
+	if err := r.fusion.Lock(r.clk, "node-0", pid, true); err != nil {
 		t.Fatal(err)
 	}
-	if err := r.fusion.unlockWriteClean(r.clk, pid); err != nil {
+	if err := r.fusion.unlockWriteClean(r.clk, "node-0", pid); err != nil {
 		t.Fatal(err)
 	}
 	for i, n := range r.nodes {
@@ -119,10 +119,10 @@ func TestUnlockWriteCleanSkipsInvalidation(t *testing.T) {
 		t.Fatal("clean unlock must not dirty the page")
 	}
 	// The lock is actually free again: a write lock succeeds immediately.
-	if err := r.fusion.Lock(r.clk, pid, true); err != nil {
+	if err := r.fusion.Lock(r.clk, "node-0", pid, true); err != nil {
 		t.Fatal(err)
 	}
-	if err := r.fusion.unlockWriteClean(r.clk, pid); err != nil {
+	if err := r.fusion.unlockWriteClean(r.clk, "node-0", pid); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -55,6 +55,9 @@ func NewHWNode(name string, fusion *Fusion, cache *simcpu.Cache, flagRegion *sim
 	return n
 }
 
+// Name reports the node's cluster-wide identity.
+func (n *HWNode) Name() string { return n.name }
+
 // Stats snapshots the node's counters.
 func (n *HWNode) Stats() NodeStats {
 	n.mu.Lock()
@@ -146,10 +149,10 @@ func (n *HWNode) Read(clk *simclock.Clock, pageID uint64, off int64, buf []byte)
 	if err != nil {
 		return err
 	}
-	if err := n.fusion.Lock(clk, pageID, false); err != nil {
+	if err := n.fusion.Lock(clk, n.name, pageID, false); err != nil {
 		return err
 	}
-	defer n.fusion.UnlockRead(clk, pageID)
+	defer n.fusion.UnlockRead(clk, n.name, pageID)
 	n.mu.Lock()
 	n.stats.Reads++
 	n.mu.Unlock()
@@ -164,7 +167,7 @@ func (n *HWNode) Write(clk *simclock.Clock, pageID uint64, off int64, data []byt
 	if err != nil {
 		return err
 	}
-	if err := n.fusion.Lock(clk, pageID, true); err != nil {
+	if err := n.fusion.Lock(clk, n.name, pageID, true); err != nil {
 		return err
 	}
 	if err := n.cache.Write(clk, n.dbp, m.dataOff+off, data); err != nil {
@@ -180,18 +183,7 @@ func (n *HWNode) Write(clk *simclock.Clock, pageID uint64, off int64, data []byt
 // unlockHW releases the write lock WITHOUT the software protocol's flag
 // fan-out: hardware already invalidated the peers.
 func (n *HWNode) unlockHW(clk *simclock.Clock, pageID uint64) error {
-	clk.Advance(RPCNanos)
-	n.fusion.mu.Lock()
-	ps, ok := n.fusion.pages[pageID]
-	if ok {
-		ps.dirty = true
-	}
-	n.fusion.mu.Unlock()
-	if !ok {
-		return fmt.Errorf("sharing: hw write-unlock of unknown page %d", pageID)
-	}
-	ps.lock.Unlock()
-	return nil
+	return n.fusion.unlockWriteHW(clk, n.name, pageID)
 }
 
 // ReadModifyWrite applies fn under one write lock.
@@ -200,7 +192,7 @@ func (n *HWNode) ReadModifyWrite(clk *simclock.Clock, pageID uint64, off int64, 
 	if err != nil {
 		return err
 	}
-	if err := n.fusion.Lock(clk, pageID, true); err != nil {
+	if err := n.fusion.Lock(clk, n.name, pageID, true); err != nil {
 		return err
 	}
 	buf := make([]byte, length)

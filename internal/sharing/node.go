@@ -70,6 +70,9 @@ func NewNode(name string, fusion *Fusion, cache *simcpu.Cache, flagRegion *simme
 	return n
 }
 
+// Name reports the node's cluster-wide identity.
+func (n *Node) Name() string { return n.name }
+
 // Stats snapshots the node's protocol counters.
 func (n *Node) Stats() NodeStats {
 	n.mu.Lock()
@@ -215,10 +218,10 @@ func (n *Node) Read(clk *simclock.Clock, pageID uint64, off int64, buf []byte) e
 	if err != nil {
 		return err
 	}
-	if err := n.fusion.Lock(clk, pageID, false); err != nil {
+	if err := n.fusion.Lock(clk, n.name, pageID, false); err != nil {
 		return err
 	}
-	defer n.fusion.UnlockRead(clk, pageID)
+	defer n.fusion.UnlockRead(clk, n.name, pageID)
 	if err := n.honourInvalid(clk, m); err != nil {
 		return err
 	}
@@ -237,7 +240,7 @@ func (n *Node) Write(clk *simclock.Clock, pageID uint64, off int64, data []byte)
 	if err != nil {
 		return err
 	}
-	if err := n.fusion.Lock(clk, pageID, true); err != nil {
+	if err := n.fusion.Lock(clk, n.name, pageID, true); err != nil {
 		return err
 	}
 	if err := n.honourInvalid(clk, m); err != nil {
@@ -266,7 +269,7 @@ func (n *Node) ReadModifyWrite(clk *simclock.Clock, pageID uint64, off int64, le
 	if err != nil {
 		return err
 	}
-	if err := n.fusion.Lock(clk, pageID, true); err != nil {
+	if err := n.fusion.Lock(clk, n.name, pageID, true); err != nil {
 		return err
 	}
 	if err := n.honourInvalid(clk, m); err != nil {

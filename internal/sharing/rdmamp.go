@@ -2,7 +2,9 @@ package sharing
 
 import (
 	"container/list"
+	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
 	"polarcxlmem/internal/page"
@@ -28,6 +30,10 @@ type RDMAFusion struct {
 	nodes    map[string]invalidatable
 	getCalls int64
 
+	evictMu sync.Mutex
+	leases  *leaseTable
+	pol     LockPolicy
+
 	// DisableInvalidation turns off the invalidation fan-out — the knob
 	// that demonstrates the baseline's coherency machinery is load-bearing.
 	DisableInvalidation bool
@@ -44,19 +50,39 @@ type rdmaPageState struct {
 	off    int64
 	active map[string]bool
 	dirty  bool
-	lock   sync.RWMutex
+	lk     *pageLock
 }
 
 // NewRDMAFusion builds the baseline fusion server with a DBP of
 // capacityPages frames.
 func NewRDMAFusion(capacityPages int, store *storage.Store) *RDMAFusion {
 	return &RDMAFusion{
-		dbp:   rdma.NewPool("dbp", int64(capacityPages)*page.Size),
-		nic:   rdma.NewNIC("fusion", 0, 0),
-		store: store,
-		pages: make(map[uint64]*rdmaPageState),
-		nodes: make(map[string]invalidatable),
+		dbp:    rdma.NewPool("dbp", int64(capacityPages)*page.Size),
+		nic:    rdma.NewNIC("fusion", 0, 0),
+		store:  store,
+		pages:  make(map[uint64]*rdmaPageState),
+		nodes:  make(map[string]invalidatable),
+		leases: newLeaseTable(DefaultLeaseNanos),
+		pol:    LockPolicy{}.withDefaults(),
 	}
+}
+
+// SetLockPolicy overrides the lease / bounded-wait parameters.
+func (f *RDMAFusion) SetLockPolicy(pol LockPolicy) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.pol = pol.withDefaults()
+	f.leases.setLease(f.pol.LeaseNanos)
+}
+
+// rpcGate rejects traffic from an evicted node and renews the caller's
+// lease (any served RPC is proof of life).
+func (f *RDMAFusion) rpcGate(clk *simclock.Clock, node string) error {
+	if f.leases.isDead(node) {
+		return fmt.Errorf("sharing: node %s: %w", node, ErrNodeEvicted)
+	}
+	f.leases.touch(node, clk.Now())
+	return nil
 }
 
 // GetCalls reports served GetPage RPCs.
@@ -70,6 +96,9 @@ func (f *RDMAFusion) GetCalls() int64 {
 // use (written to the DBP through the fusion node's own NIC).
 func (f *RDMAFusion) getPage(clk *simclock.Clock, node string, pageID uint64) (int64, error) {
 	clk.Advance(RPCNanos)
+	if err := f.rpcGate(clk, node); err != nil {
+		return 0, err
+	}
 	f.mu.Lock()
 	f.getCalls++
 	ps, ok := f.pages[pageID]
@@ -85,7 +114,7 @@ func (f *RDMAFusion) getPage(clk *simclock.Clock, node string, pageID uint64) (i
 			f.mu.Unlock()
 			return 0, fmt.Errorf("sharing: RDMA DBP full")
 		}
-		ps = &rdmaPageState{id: pageID, off: off, active: make(map[string]bool)}
+		ps = &rdmaPageState{id: pageID, off: off, active: make(map[string]bool), lk: newPageLock()}
 		f.pages[pageID] = ps
 		f.mu.Unlock()
 		img := make([]byte, page.Size)
@@ -110,6 +139,9 @@ func (f *RDMAFusion) getPage(clk *simclock.Clock, node string, pageID uint64) (i
 // engine's NewPage in the multi-primary deployment).
 func (f *RDMAFusion) createPage(clk *simclock.Clock, node string, pageID uint64) (int64, error) {
 	clk.Advance(RPCNanos)
+	if err := f.rpcGate(clk, node); err != nil {
+		return 0, err
+	}
 	f.mu.Lock()
 	if _, exists := f.pages[pageID]; exists {
 		f.mu.Unlock()
@@ -126,7 +158,7 @@ func (f *RDMAFusion) createPage(clk *simclock.Clock, node string, pageID uint64)
 		f.mu.Unlock()
 		return 0, fmt.Errorf("sharing: RDMA DBP full")
 	}
-	ps := &rdmaPageState{id: pageID, off: off, active: map[string]bool{node: true}, dirty: true}
+	ps := &rdmaPageState{id: pageID, off: off, active: map[string]bool{node: true}, dirty: true, lk: newPageLock()}
 	f.pages[pageID] = ps
 	f.getCalls++
 	f.mu.Unlock()
@@ -138,16 +170,16 @@ func (f *RDMAFusion) createPage(clk *simclock.Clock, node string, pageID uint64)
 
 // unlockWriteCleanRDMA releases an unmodified write lock: no page push, no
 // invalidations.
-func (f *RDMAFusion) unlockWriteCleanRDMA(clk *simclock.Clock, pageID uint64) error {
+func (f *RDMAFusion) unlockWriteCleanRDMA(clk *simclock.Clock, node string, pageID uint64) error {
 	clk.Advance(RPCNanos)
+	f.leases.touch(node, clk.Now())
 	f.mu.Lock()
 	ps := f.pages[pageID]
 	f.mu.Unlock()
 	if ps == nil {
 		return fmt.Errorf("sharing: clean write-unlock of unknown page %d", pageID)
 	}
-	ps.lock.Unlock()
-	return nil
+	return ps.lk.releaseWrite(node)
 }
 
 // FlushDirty checkpoints the DBP: dirty frames are read back over the
@@ -163,7 +195,9 @@ func (f *RDMAFusion) FlushDirty(clk *simclock.Clock, barrier func(*simclock.Cloc
 	f.mu.Unlock()
 	img := make([]byte, page.Size)
 	for _, ps := range dirty {
-		ps.lock.RLock()
+		if err := acquirePageLock(clk, ps.lk, nil, f.pol, fusionNode, ps.id, false, nil); err != nil {
+			return err
+		}
 		err := f.dbp.Read(clk, f.nic, ps.off, img)
 		if err == nil {
 			if barrier != nil {
@@ -174,7 +208,7 @@ func (f *RDMAFusion) FlushDirty(clk *simclock.Clock, barrier func(*simclock.Cloc
 		if err == nil {
 			ps.dirty = false
 		}
-		ps.lock.RUnlock()
+		ps.lk.releaseRead(fusionNode)
 		if err != nil {
 			return err
 		}
@@ -182,34 +216,36 @@ func (f *RDMAFusion) FlushDirty(clk *simclock.Clock, barrier func(*simclock.Cloc
 	return nil
 }
 
-// Lock acquires the distributed page lock.
-func (f *RDMAFusion) Lock(clk *simclock.Clock, pageID uint64, write bool) error {
+// Lock acquires the distributed page lock with a bounded wait. A blocker
+// whose lease has lapsed after it was marked dead is evicted inline; a live
+// but stuck holder surfaces as a LockTimeoutError.
+func (f *RDMAFusion) Lock(clk *simclock.Clock, node string, pageID uint64, write bool) error {
 	clk.Advance(RPCNanos)
+	if err := f.rpcGate(clk, node); err != nil {
+		return err
+	}
 	f.mu.Lock()
 	ps, ok := f.pages[pageID]
+	pol := f.pol
 	f.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("sharing: lock of unknown page %d", pageID)
 	}
-	if write {
-		ps.lock.Lock()
-	} else {
-		ps.lock.RLock()
-	}
-	return nil
+	return acquirePageLock(clk, ps.lk, f.leases, pol, node, pageID, write,
+		func(c *simclock.Clock, dead string) error { return f.EvictNode(c, dead) })
 }
 
-// UnlockRead releases a read lock.
-func (f *RDMAFusion) UnlockRead(clk *simclock.Clock, pageID uint64) error {
+// UnlockRead releases node's read lock.
+func (f *RDMAFusion) UnlockRead(clk *simclock.Clock, node string, pageID uint64) error {
 	clk.Advance(RPCNanos)
+	f.leases.touch(node, clk.Now())
 	f.mu.Lock()
 	ps := f.pages[pageID]
 	f.mu.Unlock()
 	if ps == nil {
 		return fmt.Errorf("sharing: unlock of unknown page %d", pageID)
 	}
-	ps.lock.RUnlock()
-	return nil
+	return ps.lk.releaseRead(node)
 }
 
 // UnlockWrite releases node's write lock after the page push, then fans an
@@ -218,6 +254,7 @@ func (f *RDMAFusion) UnlockRead(clk *simclock.Clock, pageID uint64) error {
 // full-page flush plus invalidation "prolong[s] the lock release time".
 func (f *RDMAFusion) UnlockWrite(clk *simclock.Clock, node string, pageID uint64) error {
 	clk.Advance(RPCNanos)
+	f.leases.touch(node, clk.Now())
 	f.mu.Lock()
 	ps := f.pages[pageID]
 	var targets []invalidatable
@@ -241,7 +278,89 @@ func (f *RDMAFusion) UnlockWrite(clk *simclock.Clock, node string, pageID uint64
 		f.nic.Send(clk, 64) // invalidation message
 		peer.dropLocal(pageID)
 	}
-	ps.lock.Unlock()
+	return ps.lk.releaseWrite(node)
+}
+
+// CrashNode marks node dead. Its locks stay granted until reclaimed — by an
+// explicit EvictNode or lazily by the first waiter whose lease probe finds
+// them expired.
+func (f *RDMAFusion) CrashNode(node string) {
+	f.leases.markDead(node)
+}
+
+// NodeDead reports whether node has been marked crashed/evicted.
+func (f *RDMAFusion) NodeDead(node string) bool { return f.leases.isDead(node) }
+
+// RejoinNode re-admits a previously crashed node: finish (or run) its
+// eviction so no stale state survives, then revive its lease. The caller
+// re-registers the node's delivery endpoint afterwards.
+func (f *RDMAFusion) RejoinNode(clk *simclock.Clock, node string) error {
+	if f.leases.isDead(node) {
+		if err := f.EvictNode(clk, node); err != nil {
+			return err
+		}
+	}
+	f.leases.revive(node, clk.Now())
+	return nil
+}
+
+// EvictNode reclaims everything the (dead) node holds. The RDMA baseline
+// needs no redo: the full-page DBP push completes before a write lock can be
+// released and is atomic in the model, so the DBP frame always holds either
+// the pre-image or a complete pushed image — never torn bytes. An un-pushed
+// modification died with the node's LBP. What survivors MAY hold is a stale
+// LBP copy of a page the dead node pushed without ever fanning out
+// invalidations (it crashed between push and unlock), so write-held pages
+// get the invalidation fan-out the dead node still owed. Idempotent.
+func (f *RDMAFusion) EvictNode(clk *simclock.Clock, node string) error {
+	f.leases.markDead(node)
+	f.evictMu.Lock()
+	defer f.evictMu.Unlock()
+
+	f.mu.Lock()
+	ids := make([]uint64, 0, len(f.pages))
+	for id := range f.pages {
+		ids = append(ids, id)
+	}
+	f.mu.Unlock()
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	for _, id := range ids {
+		f.mu.Lock()
+		ps := f.pages[id]
+		f.mu.Unlock()
+		if ps == nil {
+			continue
+		}
+		if ps.lk.writerIs(node) {
+			// The dead node may have pushed its image without delivering the
+			// invalidations; settle its debt before freeing the lock.
+			f.mu.Lock()
+			var targets []invalidatable
+			if !f.DisableInvalidation {
+				for other := range ps.active {
+					if other != node {
+						if peer := f.nodes[other]; peer != nil {
+							targets = append(targets, peer)
+						}
+					}
+				}
+			}
+			ps.dirty = true
+			f.mu.Unlock()
+			for _, peer := range targets {
+				f.nic.Send(clk, 64)
+				peer.dropLocal(id)
+			}
+		}
+		ps.lk.forceRelease(node)
+		f.mu.Lock()
+		delete(ps.active, node)
+		f.mu.Unlock()
+	}
+	f.mu.Lock()
+	delete(f.nodes, node)
+	f.mu.Unlock()
 	return nil
 }
 
@@ -352,16 +471,19 @@ func (n *RDMANode) localPage(clk *simclock.Clock, pageID uint64) (*lbpEntry, err
 
 // Read copies len(buf) bytes at off within the page under its read lock.
 func (n *RDMANode) Read(clk *simclock.Clock, pageID uint64, off int64, buf []byte) error {
-	if err := n.fusion.Lock(clk, pageID, false); err != nil {
+	if err := n.fusion.Lock(clk, n.name, pageID, false); err != nil {
+		if errors.Is(err, ErrLockTimeout) || errors.Is(err, ErrNodeEvicted) {
+			return err
+		}
 		// The page may be unknown to the fusion server until first fetch.
 		if _, gerr := n.fusion.getPage(clk, n.name, pageID); gerr != nil {
 			return gerr
 		}
-		if err := n.fusion.Lock(clk, pageID, false); err != nil {
+		if err := n.fusion.Lock(clk, n.name, pageID, false); err != nil {
 			return err
 		}
 	}
-	defer n.fusion.UnlockRead(clk, pageID)
+	defer n.fusion.UnlockRead(clk, n.name, pageID)
 	ent, err := n.localPage(clk, pageID)
 	if err != nil {
 		return err
@@ -384,7 +506,7 @@ func (n *RDMANode) Write(clk *simclock.Clock, pageID uint64, off int64, data []b
 	if _, err := n.fusion.getPage(clk, n.name, pageID); err != nil {
 		return err
 	}
-	if err := n.fusion.Lock(clk, pageID, true); err != nil {
+	if err := n.fusion.Lock(clk, n.name, pageID, true); err != nil {
 		return err
 	}
 	ent, err := n.localPage(clk, pageID)
@@ -419,7 +541,7 @@ func (n *RDMANode) ReadModifyWrite(clk *simclock.Clock, pageID uint64, off int64
 	if _, err := n.fusion.getPage(clk, n.name, pageID); err != nil {
 		return err
 	}
-	if err := n.fusion.Lock(clk, pageID, true); err != nil {
+	if err := n.fusion.Lock(clk, n.name, pageID, true); err != nil {
 		return err
 	}
 	ent, err := n.localPage(clk, pageID)

@@ -3,6 +3,7 @@ package sharing
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"polarcxlmem/internal/buffer"
 	"polarcxlmem/internal/cxl"
@@ -31,6 +32,8 @@ type RDMASharedPool struct {
 
 	tab     *frametab.Table
 	barrier buffer.FlushBarrier
+	nslots  int
+	crashed atomic.Bool
 }
 
 var (
@@ -47,7 +50,7 @@ type rdmaStore struct {
 // NewRDMASharedPool builds one node's engine-facing view of the RDMA DBP
 // with an LBP of capacityPages local copies.
 func NewRDMASharedPool(node string, fusion *RDMAFusion, nic *rdma.NIC, capacityPages int) *RDMASharedPool {
-	p := &RDMASharedPool{node: node, fusion: fusion, nic: nic}
+	p := &RDMASharedPool{node: node, fusion: fusion, nic: nic, nslots: capacityPages}
 	p.tab = frametab.New(frametab.Config{
 		Capacity: capacityPages,
 		Store:    &rdmaStore{p: p},
@@ -57,6 +60,43 @@ func NewRDMASharedPool(node string, fusion *RDMAFusion, nic *rdma.NIC, capacityP
 	fusion.nodes[node] = p
 	fusion.mu.Unlock()
 	return p
+}
+
+// CrashPrimary simulates this primary failing: the fusion server marks it
+// dead (locks stay granted until reclaimed) and every subsequent pool call
+// fails until RejoinPrimary.
+func (p *RDMASharedPool) CrashPrimary() {
+	p.crashed.Store(true)
+	p.fusion.CrashNode(p.node)
+}
+
+// RejoinPrimary restarts the crashed primary with an empty LBP: the fusion
+// server evicts its stale state, then the node re-registers for invalidation
+// delivery.
+func (p *RDMASharedPool) RejoinPrimary(clk *simclock.Clock) error {
+	if err := p.fusion.RejoinNode(clk, p.node); err != nil {
+		return err
+	}
+	p.tab = frametab.New(frametab.Config{
+		Capacity: p.nslots,
+		Store:    &rdmaStore{p: p},
+		NotFound: storage.ErrNotFound,
+	})
+	p.fusion.mu.Lock()
+	p.fusion.nodes[p.node] = p
+	p.fusion.mu.Unlock()
+	p.crashed.Store(false)
+	return nil
+}
+
+// Crashed reports whether this primary is currently down.
+func (p *RDMASharedPool) Crashed() bool { return p.crashed.Load() }
+
+func (p *RDMASharedPool) checkAlive() error {
+	if p.crashed.Load() {
+		return fmt.Errorf("sharing: primary %s crashed: %w", p.node, ErrNodeEvicted)
+	}
+	return nil
 }
 
 // fetch pulls page id's current image from the DBP over RDMA. The caller
@@ -125,6 +165,9 @@ func (p *RDMASharedPool) NIC() *rdma.NIC { return p.nic }
 
 // Get implements buffer.Pool.
 func (p *RDMASharedPool) Get(clk *simclock.Clock, id uint64, mode buffer.Mode) (buffer.Frame, error) {
+	if err := p.checkAlive(); err != nil {
+		return nil, err
+	}
 	if _, err := p.fusion.getPage(clk, p.node, id); err != nil {
 		return nil, err
 	}
@@ -133,6 +176,9 @@ func (p *RDMASharedPool) Get(clk *simclock.Clock, id uint64, mode buffer.Mode) (
 
 // NewPage implements buffer.Pool: a globally fresh page.
 func (p *RDMASharedPool) NewPage(clk *simclock.Clock) (buffer.Frame, error) {
+	if err := p.checkAlive(); err != nil {
+		return nil, err
+	}
 	id := p.fusion.store.AllocPageID()
 	if _, err := p.fusion.createPage(clk, p.node, id); err != nil {
 		return nil, err
@@ -143,6 +189,9 @@ func (p *RDMASharedPool) NewPage(clk *simclock.Clock) (buffer.Frame, error) {
 // GetOrCreate write-locks page id, creating it DBP-wide when it has no
 // durable image yet (recovery redo of post-checkpoint page creations).
 func (p *RDMASharedPool) GetOrCreate(clk *simclock.Clock, id uint64) (buffer.Frame, error) {
+	if err := p.checkAlive(); err != nil {
+		return nil, err
+	}
 	f, err := p.Get(clk, id, buffer.Write)
 	if err == nil {
 		return f, nil
@@ -160,7 +209,7 @@ func (p *RDMASharedPool) GetOrCreate(clk *simclock.Clock, id uint64) (buffer.Fra
 // copy through the table (lock first: the copy must reflect the image the
 // lock protects).
 func (p *RDMASharedPool) lockAndBind(clk *simclock.Clock, id uint64, mode buffer.Mode) (buffer.Frame, error) {
-	if err := p.fusion.Lock(clk, id, mode == buffer.Write); err != nil {
+	if err := p.fusion.Lock(clk, p.node, id, mode == buffer.Write); err != nil {
 		return nil, err
 	}
 	f, err := p.tab.Get(clk, id, mode)
@@ -168,7 +217,7 @@ func (p *RDMASharedPool) lockAndBind(clk *simclock.Clock, id uint64, mode buffer
 		if mode == buffer.Write {
 			p.fusion.UnlockWrite(clk, p.node, id)
 		} else {
-			p.fusion.UnlockRead(clk, id)
+			p.fusion.UnlockRead(clk, p.node, id)
 		}
 		return nil, err
 	}
@@ -178,6 +227,9 @@ func (p *RDMASharedPool) lockAndBind(clk *simclock.Clock, id uint64, mode buffer
 // FlushAll implements buffer.Pool: checkpointing the DBP through the fusion
 // server.
 func (p *RDMASharedPool) FlushAll(clk *simclock.Clock) error {
+	if err := p.checkAlive(); err != nil {
+		return err
+	}
 	return p.fusion.FlushDirty(clk, p.barrier)
 }
 
@@ -252,7 +304,7 @@ func (b *mpBound) Release() error {
 			}
 			return p.fusion.UnlockWrite(b.clk, p.node, b.id)
 		}
-		return p.fusion.unlockWriteCleanRDMA(b.clk, b.id)
+		return p.fusion.unlockWriteCleanRDMA(b.clk, p.node, b.id)
 	}
-	return p.fusion.UnlockRead(b.clk, b.id)
+	return p.fusion.UnlockRead(b.clk, p.node, b.id)
 }

@@ -3,6 +3,7 @@ package sharing
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"polarcxlmem/internal/buffer"
 	"polarcxlmem/internal/frametab"
@@ -55,6 +56,8 @@ type SharedPool struct {
 	tab     *frametab.Table
 	sst     *sharedStore
 	barrier buffer.FlushBarrier
+	nslots  int
+	crashed atomic.Bool
 }
 
 var (
@@ -81,6 +84,7 @@ func NewSharedPool(node string, fusion *Fusion, cache *simcpu.Cache, flagRegion 
 		dbp:    fusion.Region(),
 	}
 	nslots := int(flagRegion.Size() / flagEntrySize)
+	p.nslots = nslots
 	p.sst = &sharedStore{p: p}
 	for i := nslots - 1; i >= 0; i-- {
 		p.sst.freeSlots = append(p.sst.freeSlots, i)
@@ -91,6 +95,52 @@ func NewSharedPool(node string, fusion *Fusion, cache *simcpu.Cache, flagRegion 
 		NotFound: storage.ErrNotFound,
 	})
 	return p
+}
+
+// CrashPrimary kills this node: the fusion server marks it dead (its lock
+// leases stop renewing; survivors — or an explicit EvictNode — reclaim its
+// locks once they expire), and every local pool operation fails until
+// RejoinPrimary. The node's in-flight work simply stops, exactly as a
+// process crash would leave it.
+func (p *SharedPool) CrashPrimary() {
+	p.crashed.Store(true)
+	// Power loss: every unflushed line in the host's CPU cache is gone. The
+	// rejoined incarnation must never be able to write back pre-crash data
+	// over frames the fusion server has since rebuilt.
+	p.cache.Drop()
+	p.fusion.CrashNode(p.node)
+}
+
+// RejoinPrimary restarts the node with empty local state: the fusion server
+// evicts whatever the dead incarnation still held, the metadata table and
+// flag-slot pool are rebuilt from scratch, and the node's lease restarts.
+func (p *SharedPool) RejoinPrimary(clk *simclock.Clock) error {
+	if err := p.fusion.RejoinNode(clk, p.node); err != nil {
+		return err
+	}
+	p.sst.mu.Lock()
+	p.sst.freeSlots = p.sst.freeSlots[:0]
+	for i := p.nslots - 1; i >= 0; i-- {
+		p.sst.freeSlots = append(p.sst.freeSlots, i)
+	}
+	p.sst.mu.Unlock()
+	p.tab = frametab.New(frametab.Config{
+		Capacity: p.nslots,
+		Store:    p.sst,
+		NotFound: storage.ErrNotFound,
+	})
+	p.crashed.Store(false)
+	return nil
+}
+
+// Crashed reports whether the node is currently down.
+func (p *SharedPool) Crashed() bool { return p.crashed.Load() }
+
+func (p *SharedPool) checkAlive() error {
+	if p.crashed.Load() {
+		return fmt.Errorf("sharing: node %s is crashed: %w", p.node, ErrNodeEvicted)
+	}
+	return nil
 }
 
 // SetFlushBarrier implements buffer.Pool (checkpointing is driven through
@@ -200,7 +250,7 @@ func (s *sharedStore) Revalidate(clk *simclock.Clock, id uint64, slot any) (bool
 func (s *sharedStore) Latch(clk *simclock.Clock, id uint64, slot any, write, fresh bool) error {
 	p := s.p
 	m := slot.(*pmeta)
-	if err := p.fusion.Lock(clk, id, write); err != nil {
+	if err := p.fusion.Lock(clk, p.node, id, write); err != nil {
 		return err
 	}
 	if fresh {
@@ -210,7 +260,7 @@ func (s *sharedStore) Latch(clk *simclock.Clock, id uint64, slot any, write, fre
 		if write {
 			p.fusion.UnlockWrite(clk, p.node, id)
 		} else {
-			p.fusion.UnlockRead(clk, id)
+			p.fusion.UnlockRead(clk, p.node, id)
 		}
 		return err
 	}
@@ -236,6 +286,9 @@ func (p *SharedPool) honourInvalid(clk *simclock.Clock, m *pmeta) error {
 
 // Get implements buffer.Pool: the latch is the distributed page lock.
 func (p *SharedPool) Get(clk *simclock.Clock, id uint64, mode buffer.Mode) (buffer.Frame, error) {
+	if err := p.checkAlive(); err != nil {
+		return nil, err
+	}
 	f, err := p.tab.Get(clk, id, mode)
 	if err != nil {
 		return nil, err
@@ -246,6 +299,9 @@ func (p *SharedPool) Get(clk *simclock.Clock, id uint64, mode buffer.Mode) (buff
 // NewPage implements buffer.Pool: a globally fresh page, zero-filled in the
 // DBP.
 func (p *SharedPool) NewPage(clk *simclock.Clock) (buffer.Frame, error) {
+	if err := p.checkAlive(); err != nil {
+		return nil, err
+	}
 	id := p.fusion.store.AllocPageID()
 	f, err := p.tab.Create(clk, id)
 	if err != nil {
@@ -257,6 +313,9 @@ func (p *SharedPool) NewPage(clk *simclock.Clock) (buffer.Frame, error) {
 // GetOrCreate write-locks page id, creating it DBP-wide when it has no
 // durable image yet (recovery redo of post-checkpoint page creations).
 func (p *SharedPool) GetOrCreate(clk *simclock.Clock, id uint64) (buffer.Frame, error) {
+	if err := p.checkAlive(); err != nil {
+		return nil, err
+	}
 	f, err := p.tab.GetOrCreate(clk, id)
 	if err != nil {
 		return nil, err
@@ -267,6 +326,9 @@ func (p *SharedPool) GetOrCreate(clk *simclock.Clock, id uint64) (buffer.Frame, 
 // FlushAll implements buffer.Pool: checkpointing the DBP is the fusion
 // server's job (it owns the dirty set); a node-side FlushAll delegates.
 func (p *SharedPool) FlushAll(clk *simclock.Clock) error {
+	if err := p.checkAlive(); err != nil {
+		return err
+	}
 	return p.fusion.FlushDirty(clk, p.barrier)
 }
 
@@ -323,7 +385,7 @@ func (f *sharedFrame) Release() error {
 			return p.fusion.UnlockWrite(f.clk, p.node, f.id)
 		}
 		// Clean write latch: nothing to publish, nobody to invalidate.
-		return p.fusion.unlockWriteClean(f.clk, f.id)
+		return p.fusion.unlockWriteClean(f.clk, p.node, f.id)
 	}
-	return p.fusion.UnlockRead(f.clk, f.id)
+	return p.fusion.UnlockRead(f.clk, p.node, f.id)
 }

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sync"
 
+	"polarcxlmem/internal/fault"
 	"polarcxlmem/internal/page"
 	"polarcxlmem/internal/simclock"
 )
@@ -52,6 +53,15 @@ type Store struct {
 	mu     sync.Mutex
 	pages  map[uint64][]byte // page id -> 16 KB image (checksummed)
 	nextID uint64
+	inj    fault.Injector // optional fault injector; may be nil
+}
+
+// SetInjector installs (or, with nil, removes) a fault injector consulted on
+// every page read (fault.OpStoreRead) — transient cloud-store hiccups.
+func (s *Store) SetInjector(inj fault.Injector) {
+	s.mu.Lock()
+	s.inj = inj
+	s.mu.Unlock()
 }
 
 // New returns an empty page store. Page id 0 is reserved (nil page id);
@@ -111,6 +121,14 @@ func (s *Store) PageCount() int {
 func (s *Store) ReadPage(clk *simclock.Clock, id uint64, buf []byte) error {
 	if len(buf) != page.Size {
 		return fmt.Errorf("storage: read buffer of %d bytes, want %d", len(buf), page.Size)
+	}
+	s.mu.Lock()
+	inj := s.inj
+	s.mu.Unlock()
+	if inj != nil {
+		if err := inj.Point(fault.OpStoreRead, page.Size); err != nil {
+			return err
+		}
 	}
 	s.mu.Lock()
 	img, ok := s.pages[id]

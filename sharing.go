@@ -7,6 +7,7 @@ import (
 	"polarcxlmem/internal/page"
 	"polarcxlmem/internal/sharing"
 	"polarcxlmem/internal/simclock"
+	"polarcxlmem/internal/simmem"
 	"polarcxlmem/internal/storage"
 )
 
@@ -26,6 +27,8 @@ type SharingCluster struct {
 	sw     *cxl.Switch
 	fusion *sharing.Fusion
 	nodes  []*sharing.Node
+	hosts  []*cxl.HostPort
+	flags  []*simmem.Region
 	store  *storage.Store
 	clk    *simclock.Clock
 }
@@ -62,8 +65,37 @@ func NewSharingCluster(cfg SharingConfig) (*SharingCluster, error) {
 			return nil, err
 		}
 		sc.nodes = append(sc.nodes, sharing.NewNode(name, fusion, host.NewCache(name, 8<<20), flags))
+		sc.hosts = append(sc.hosts, host)
+		sc.flags = append(sc.flags, flags)
 	}
 	return sc, nil
+}
+
+// CrashPrimary kills node i: the fusion server marks it dead, so its lock
+// leases stop renewing and its RPCs are rejected. Survivors keep serving;
+// the dead node's locks are reclaimed by the first conflicting waiter after
+// lease expiry, or immediately via Fusion().EvictNode.
+func (s *SharingCluster) CrashPrimary(i int) error {
+	if i < 0 || i >= len(s.nodes) {
+		return fmt.Errorf("polarcxlmem: no node %d", i)
+	}
+	s.fusion.CrashNode(s.nodes[i].Name())
+	return nil
+}
+
+// RejoinPrimary restarts crashed node i as a fresh node: the fusion server
+// finishes evicting its old incarnation's state, then a new Node (empty
+// cache, empty metadata buffer) takes its name.
+func (s *SharingCluster) RejoinPrimary(i int) error {
+	if i < 0 || i >= len(s.nodes) {
+		return fmt.Errorf("polarcxlmem: no node %d", i)
+	}
+	name := s.nodes[i].Name()
+	if err := s.fusion.RejoinNode(s.clk, name); err != nil {
+		return err
+	}
+	s.nodes[i] = sharing.NewNode(name, s.fusion, s.hosts[i].NewCache(name, 8<<20), s.flags[i])
+	return nil
 }
 
 // Clock exposes the cluster's virtual clock.
