@@ -8,21 +8,31 @@
 //
 // -quick shrinks functional op counts (CI-sized); the default sizes match
 // the results recorded in EXPERIMENTS.md.
+//
+// -metrics FILE writes a JSON snapshot of every runtime metric (counters,
+// gauges, virtual-time histograms) plus any invariant-checker violations on
+// exit; -trace FILE dumps the sampled trace-event ring as JSON lines. Both
+// run the stale-read / lock-leak / frame-leak checkers over the full event
+// stream and report violations on stderr.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"time"
 
 	"polarcxlmem/internal/bench"
+	"polarcxlmem/internal/obs"
 )
 
 func main() {
 	quick := flag.Bool("quick", false, "CI-sized runs (smaller datasets and op counts)")
 	csvDir := flag.String("csv", "", "also write each table as CSV into this directory")
+	metricsPath := flag.String("metrics", "", "write a JSON metrics snapshot to this file on exit")
+	tracePath := flag.String("trace", "", "write the sampled trace events (JSON lines) to this file on exit")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: polarbench [-quick] list|all|<experiment-id>...\n\nexperiments:\n")
 		for _, e := range bench.Experiments() {
@@ -50,6 +60,14 @@ func main() {
 		ids = args
 	}
 	cfg := bench.Config{Quick: *quick}
+	var reg *obs.Registry
+	if *metricsPath != "" || *tracePath != "" {
+		reg = obs.New(obs.Options{})
+		for _, c := range obs.DefaultCheckers() {
+			reg.AddChecker(c)
+		}
+		bench.SetObserver(reg)
+	}
 	for _, id := range ids {
 		e, ok := bench.ByID(id)
 		if !ok {
@@ -80,5 +98,36 @@ func main() {
 			}
 		}
 		fmt.Printf("  [%s completed in %.1fs wall time]\n", id, time.Since(start).Seconds())
+	}
+	if reg == nil {
+		return
+	}
+	violations := reg.Finish()
+	for _, v := range violations {
+		fmt.Fprintf(os.Stderr, "polarbench: invariant violation [%s]: %s\n", v.Checker, v.Detail)
+	}
+	writeTo := func(path string, write func(io.Writer) error) {
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "polarbench:", err)
+			os.Exit(1)
+		}
+		werr := write(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintf(os.Stderr, "polarbench: writing %s: %v\n", path, werr)
+			os.Exit(1)
+		}
+	}
+	if *metricsPath != "" {
+		writeTo(*metricsPath, reg.WriteJSON)
+	}
+	if *tracePath != "" {
+		writeTo(*tracePath, reg.WriteTrace)
+	}
+	if len(violations) > 0 {
+		os.Exit(1)
 	}
 }

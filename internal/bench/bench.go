@@ -11,7 +11,28 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"sync/atomic"
+
+	"polarcxlmem/internal/obs"
+	"polarcxlmem/internal/recovery"
 )
+
+// obsReg, when set, is threaded through every rig an experiment builds:
+// substrate devices, RPC fabrics, frame tables, the sharing protocol, and
+// recovery all register their metrics there, and the trace-backed invariant
+// checkers see the full event stream. Package-level because experiments
+// construct their rigs internally.
+var obsReg atomic.Pointer[obs.Registry]
+
+// SetObserver installs (or, with nil, removes) the registry every
+// subsequently built rig reports into.
+func SetObserver(reg *obs.Registry) {
+	obsReg.Store(reg)
+	recovery.SetObserver(reg)
+}
+
+// observer reads the installed registry (nil when unset).
+func observer() *obs.Registry { return obsReg.Load() }
 
 // Table is one experiment's printable output.
 type Table struct {

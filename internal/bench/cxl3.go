@@ -37,6 +37,8 @@ func newHWSharingRig(store *storage.Store, clk *simclock.Clock, dbpPages, nnodes
 		return nil, err
 	}
 	r.fusion = sharing.NewFusion(fhost, dbp, store)
+	r.sw.SetObserver(observer())
+	r.fusion.SetObserver(observer())
 	dom := simcpu.NewDomain(0)
 	for i := 0; i < nnodes; i++ {
 		name := fmt.Sprintf("hw-%d", i)
@@ -97,7 +99,9 @@ func measureHW(cfg Config, r *hwSharingRig, layout *workload.Layout, wl sharingW
 	start := r.clk.Now()
 	const probes = 5
 	for i := 0; i < probes; i++ {
-		_ = r.nodes[0].ReadModifyWrite(r.clk, pid, off, 64, func(b []byte) { b[0]++ })
+		if err := r.nodes[0].ReadModifyWrite(r.clk, pid, off, 64, func(b []byte) { b[0]++ }); err != nil {
+			return perf.Demands{}, fmt.Errorf("hw hold probe: %w", err)
+		}
 	}
 	d.LockHoldNs = float64(r.clk.Now()-start) / probes
 	return d, nil

@@ -38,6 +38,8 @@ func runMPCrash(cfg Config) ([]*Table, error) {
 		return nil, err
 	}
 	fusion := sharing.NewFusion(fhost, dbp, store)
+	sw.SetObserver(observer())
+	fusion.SetObserver(observer())
 	lockTab, err := fhost.Allocate(clk, "lock-table", int64(dbpPages)*8)
 	if err != nil {
 		return nil, err

@@ -77,7 +77,9 @@ func newPoolingRig(kind PoolKind, tables int, rows int64, lbpFrac float64) (*poo
 
 	switch kind {
 	case PoolDRAM:
-		r.pool = buffer.NewDRAMPool(r.store, capPages, cxl.BufferDRAMProfile())
+		p := buffer.NewDRAMPool(r.store, capPages, cxl.BufferDRAMProfile())
+		p.SetObserver(observer())
+		r.pool = p
 	case PoolTiered:
 		r.nic = rdma.NewNIC("host0", 0, 0)
 		r.rem = buffer.NewRemoteMemory("remote", capPages)
@@ -85,9 +87,12 @@ func newPoolingRig(kind PoolKind, tables int, rows int64, lbpFrac float64) (*poo
 		if lbp < 8 {
 			lbp = 8
 		}
-		r.pool = buffer.NewTieredPool(r.store, r.rem, r.nic, lbp, cxl.BufferDRAMProfile())
+		p := buffer.NewTieredPool(r.store, r.rem, r.nic, lbp, cxl.BufferDRAMProfile())
+		p.SetObserver(observer())
+		r.pool = p
 	case PoolCXL:
 		r.sw = cxl.NewSwitch(cxl.Config{PoolBytes: core.RegionSizeFor(int64(capPages)) + 4096})
+		r.sw.SetObserver(observer())
 		r.host = r.sw.AttachHost("host0")
 		region, err := r.host.Allocate(r.clk, "db0", core.RegionSizeFor(int64(capPages)))
 		if err != nil {
@@ -101,6 +106,7 @@ func newPoolingRig(kind PoolKind, tables int, rows int64, lbpFrac float64) (*poo
 		if err != nil {
 			return nil, err
 		}
+		pool.SetObserver(observer())
 		r.cpool = pool
 		r.pool = pool
 	}

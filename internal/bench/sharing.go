@@ -63,6 +63,8 @@ func newCXLSharingRig(store *storage.Store, clk *simclock.Clock, dbpPages, nnode
 		return nil, err
 	}
 	r.fusion = sharing.NewFusion(fhost, dbp, store)
+	r.sw.SetObserver(observer())
+	r.fusion.SetObserver(observer())
 	for i := 0; i < nnodes; i++ {
 		name := fmt.Sprintf("node-%d", i)
 		h := r.sw.AttachHost(name)
@@ -195,20 +197,26 @@ func measureSharing(cfg Config, r *shRig, layout *workload.Layout, wl sharingWor
 	writeFrac := wl.writesPerTxn / wl.queriesPerTxn
 	readFrac := 1 - writeFrac
 	d.LockProb = float64(sharedPct) / 100 * (writeFrac + wl.readsLockWt*readFrac)
-	d.LockHoldNs = probeHold(r, layout)
+	hold, err := probeHold(r, layout)
+	if err != nil {
+		return perf.Demands{}, fmt.Errorf("sharing hold probe: %w", err)
+	}
+	d.LockHoldNs = hold
 	return d, nil
 }
 
 // probeHold measures the virtual time one shared-page write holds its page
 // lock (lock + access + publish + unlock/invalidate).
-func probeHold(r *shRig, layout *workload.Layout) float64 {
+func probeHold(r *shRig, layout *workload.Layout) (float64, error) {
 	pid, off := layout.RowAddr(layout.Nodes, 1)
 	const probes = 5
 	start := r.clk.Now()
 	for i := 0; i < probes; i++ {
-		_ = r.node(0).ReadModifyWrite(r.clk, pid, off, 64, func(b []byte) { b[0]++ })
+		if err := r.node(0).ReadModifyWrite(r.clk, pid, off, 64, func(b []byte) { b[0]++ }); err != nil {
+			return 0, err
+		}
 	}
-	return float64(r.clk.Now()-start) / probes
+	return float64(r.clk.Now()-start) / probes, nil
 }
 
 // solveSharing runs the contended MVA for the rig's node count.

@@ -17,6 +17,7 @@ import (
 	"polarcxlmem/internal/core"
 	"polarcxlmem/internal/cxl"
 	"polarcxlmem/internal/fault"
+	"polarcxlmem/internal/obs"
 	"polarcxlmem/internal/page"
 	"polarcxlmem/internal/rdma"
 	"polarcxlmem/internal/sharing"
@@ -30,12 +31,14 @@ const capacity = 8
 
 // rig is one pool under test. All five pools implement buffer.Creator and
 // expose PinnedFrames, but neither is part of buffer.Pool, so the rig
-// carries them explicitly.
+// carries them explicitly. setObs attaches (or, with nil, detaches) an
+// observability registry to every instrumented component in the rig.
 type rig struct {
 	pool    buffer.Creator
 	store   *storage.Store
 	pinned  func() int
 	barrier func(fb buffer.FlushBarrier)
+	setObs  func(reg *obs.Registry)
 }
 
 // payloadOff keeps test mutations clear of the page header (LSN lives at
@@ -57,7 +60,7 @@ func buildDRAM(t *testing.T) *rig {
 	t.Helper()
 	store := storage.New(storage.Config{})
 	p := buffer.NewDRAMPool(store, capacity, cxl.DRAMProfile())
-	return &rig{pool: p, store: store, pinned: p.PinnedFrames, barrier: p.SetFlushBarrier}
+	return &rig{pool: p, store: store, pinned: p.PinnedFrames, barrier: p.SetFlushBarrier, setObs: p.SetObserver}
 }
 
 func buildTiered(t *testing.T) *rig {
@@ -65,7 +68,7 @@ func buildTiered(t *testing.T) *rig {
 	store := storage.New(storage.Config{})
 	remote := buffer.NewRemoteMemory("rm", 256)
 	p := buffer.NewTieredPool(store, remote, rdma.NewNIC("nic", 0, 0), capacity, cxl.DRAMProfile())
-	return &rig{pool: p, store: store, pinned: p.PinnedFrames, barrier: p.SetFlushBarrier}
+	return &rig{pool: p, store: store, pinned: p.PinnedFrames, barrier: p.SetFlushBarrier, setObs: p.SetObserver}
 }
 
 func buildCXL(t *testing.T) *rig {
@@ -82,7 +85,7 @@ func buildCXL(t *testing.T) *rig {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return &rig{pool: p, store: store, pinned: p.PinnedFrames, barrier: p.SetFlushBarrier}
+	return &rig{pool: p, store: store, pinned: p.PinnedFrames, barrier: p.SetFlushBarrier, setObs: p.SetObserver}
 }
 
 func buildShared(t *testing.T) *rig {
@@ -104,7 +107,11 @@ func buildShared(t *testing.T) *rig {
 		t.Fatal(err)
 	}
 	p := sharing.NewSharedPool("n0", fusion, host.NewCache("n0", 4<<20), flags)
-	return &rig{pool: p, store: store, pinned: p.PinnedFrames, barrier: p.SetFlushBarrier}
+	setObs := func(reg *obs.Registry) {
+		fusion.SetObserver(reg)
+		p.SetObserver(reg)
+	}
+	return &rig{pool: p, store: store, pinned: p.PinnedFrames, barrier: p.SetFlushBarrier, setObs: setObs}
 }
 
 func buildRDMAShared(t *testing.T) *rig {
@@ -112,7 +119,7 @@ func buildRDMAShared(t *testing.T) *rig {
 	store := storage.New(storage.Config{})
 	fusion := sharing.NewRDMAFusion(64, store)
 	p := sharing.NewRDMASharedPool("n0", fusion, rdma.NewNIC("nic", 0, 0), capacity)
-	return &rig{pool: p, store: store, pinned: p.PinnedFrames, barrier: p.SetFlushBarrier}
+	return &rig{pool: p, store: store, pinned: p.PinnedFrames, barrier: p.SetFlushBarrier, setObs: p.SetObserver}
 }
 
 // seedPage writes a raw page image with lsn and a payload byte to storage.
@@ -135,13 +142,25 @@ func release(t *testing.T, f buffer.Frame) {
 	}
 }
 
+// forEachPool runs fn against all five pool builds, each with the default
+// invariant checkers (stale reads, lock leaks, pin/slot leaks) consuming the
+// full event stream; a violation anywhere fails the subtest.
 func forEachPool(t *testing.T, fn func(t *testing.T, r *rig)) {
 	for _, b := range builders {
 		t.Run(b.name, func(t *testing.T) {
 			r := b.build(t)
+			reg := obs.New(obs.Options{})
+			for _, c := range obs.DefaultCheckers() {
+				reg.AddChecker(c)
+			}
+			r.setObs(reg)
 			fn(t, r)
 			if n := r.pinned(); n != 0 {
 				t.Fatalf("pin leak: %d frames still pinned after test", n)
+			}
+			r.setObs(nil)
+			for _, v := range reg.Finish() {
+				t.Errorf("invariant violation [%s]: %s", v.Checker, v.Detail)
 			}
 		})
 	}

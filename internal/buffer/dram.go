@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"polarcxlmem/internal/frametab"
+	"polarcxlmem/internal/obs"
 	"polarcxlmem/internal/page"
 	"polarcxlmem/internal/simclock"
 	"polarcxlmem/internal/simmem"
@@ -79,6 +80,10 @@ func (s *dramStore) Evict(clk *simclock.Clock, id uint64, slot any, dirty bool) 
 
 // SetFlushBarrier implements Pool.
 func (p *DRAMPool) SetFlushBarrier(fb FlushBarrier) { p.barrier = fb }
+
+// SetObserver registers the pool's frame-table metrics (frametab.dram.*)
+// with reg; nil detaches.
+func (p *DRAMPool) SetObserver(reg *obs.Registry) { p.tab.SetObserver(reg, "dram") }
 
 // Stats implements Pool.
 func (p *DRAMPool) Stats() Stats { return p.tab.Stats() }

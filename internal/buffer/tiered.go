@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"polarcxlmem/internal/frametab"
+	"polarcxlmem/internal/obs"
 	"polarcxlmem/internal/page"
 	"polarcxlmem/internal/rdma"
 	"polarcxlmem/internal/simclock"
@@ -146,6 +147,10 @@ func (s *tieredStore) Evict(clk *simclock.Clock, id uint64, slot any, dirty bool
 
 // SetFlushBarrier implements Pool.
 func (p *TieredPool) SetFlushBarrier(fb FlushBarrier) { p.barrier = fb }
+
+// SetObserver registers the LBP's frame-table metrics (frametab.tiered.*)
+// with reg; nil detaches.
+func (p *TieredPool) SetObserver(reg *obs.Registry) { p.tab.SetObserver(reg, "tiered") }
 
 // Stats implements Pool.
 func (p *TieredPool) Stats() Stats { return p.tab.Stats() }

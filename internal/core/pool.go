@@ -8,6 +8,7 @@ import (
 	"polarcxlmem/internal/buffer"
 	"polarcxlmem/internal/cxl"
 	"polarcxlmem/internal/frametab"
+	"polarcxlmem/internal/obs"
 	"polarcxlmem/internal/page"
 	"polarcxlmem/internal/simclock"
 	"polarcxlmem/internal/simcpu"
@@ -143,6 +144,10 @@ func (p *CXLPool) Cache() *simcpu.Cache { return p.cache }
 
 // SetFlushBarrier implements buffer.Pool.
 func (p *CXLPool) SetFlushBarrier(fb buffer.FlushBarrier) { p.barrier = fb }
+
+// SetObserver registers the pool's frame-table metrics (frametab.cxl.*)
+// with reg; nil detaches.
+func (p *CXLPool) SetObserver(reg *obs.Registry) { p.tab.SetObserver(reg, "cxl") }
 
 // Stats implements buffer.Pool.
 func (p *CXLPool) Stats() buffer.Stats { return p.tab.Stats() }

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"polarcxlmem/internal/fault"
+	"polarcxlmem/internal/obs"
 	"polarcxlmem/internal/simclock"
 	"polarcxlmem/internal/simcpu"
 	"polarcxlmem/internal/simmem"
@@ -54,6 +55,7 @@ type Switch struct {
 	mu    sync.Mutex
 	hosts map[string]*HostPort
 	inj   fault.Injector // optional fault injector; may be nil
+	reg   *obs.Registry  // optional metrics sink; re-applied to new hosts
 }
 
 // NewSwitch builds a switch with cfg (zero fields get calibrated defaults).
@@ -110,6 +112,31 @@ func (s *Switch) injector() fault.Injector {
 	return inj
 }
 
+// SetObserver threads reg through the switch's substrates: the pooled
+// memory device (mem.cxl-pool.* counters), the manager RPC fabric
+// (simnet.*), the switch fabric's queueing waits (cxl.fabric.wait_ns), and
+// every host link — attached now or later — into one shared
+// cxl.link.wait_ns histogram. A nil reg detaches the device and RPC metrics
+// and stops new hosts being instrumented (already-installed link observers
+// stay, inert only if their histogram came from a live registry).
+func (s *Switch) SetObserver(reg *obs.Registry) {
+	s.dev.SetObserver(reg)
+	s.rpc.SetObserver(reg)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.reg = reg
+	if reg == nil {
+		s.fabric.SetWaitObserver(nil)
+		return
+	}
+	fh := reg.Histogram("cxl.fabric.wait_ns")
+	s.fabric.SetWaitObserver(func(w int64) { fh.Observe(w) })
+	lh := reg.Histogram("cxl.link.wait_ns")
+	for _, h := range s.hosts {
+		h.link.SetWaitObserver(func(w int64) { lh.Observe(w) })
+	}
+}
+
 func (s *Switch) portPoint(op fault.Op) error {
 	if inj := s.injector(); inj != nil {
 		return inj.Point(op, 0)
@@ -129,6 +156,10 @@ func (s *Switch) AttachHost(name string) *HostPort {
 		name: name,
 		sw:   s,
 		link: simclock.NewResource("cxl-link/"+name, s.cfg.HostLinkBW),
+	}
+	if s.reg != nil {
+		lh := s.reg.Histogram("cxl.link.wait_ns")
+		h.link.SetWaitObserver(func(w int64) { lh.Observe(w) })
 	}
 	s.hosts[name] = h
 	return h

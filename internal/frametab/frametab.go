@@ -50,6 +50,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"polarcxlmem/internal/obs"
 	"polarcxlmem/internal/simclock"
 )
 
@@ -73,6 +74,8 @@ type Stats struct {
 	Hits          int64
 	Misses        int64
 	Evictions     int64
+	Retires       int64 // revalidation-miss slot recycles (not capacity evictions)
+	EvictFailures int64 // EvictStore errors during eviction or retirement
 	StorageReads  int64
 	StorageWrites int64
 	RemoteReads   int64 // RDMA page fetches (tiered pool)
@@ -86,6 +89,8 @@ type Counters struct {
 	Hits          atomic.Int64
 	Misses        atomic.Int64
 	Evictions     atomic.Int64
+	Retires       atomic.Int64
+	EvictFailures atomic.Int64
 	StorageReads  atomic.Int64
 	StorageWrites atomic.Int64
 	RemoteReads   atomic.Int64
@@ -98,6 +103,8 @@ func (c *Counters) Snapshot() Stats {
 		Hits:          c.Hits.Load(),
 		Misses:        c.Misses.Load(),
 		Evictions:     c.Evictions.Load(),
+		Retires:       c.Retires.Load(),
+		EvictFailures: c.EvictFailures.Load(),
 		StorageReads:  c.StorageReads.Load(),
 		StorageWrites: c.StorageWrites.Load(),
 		RemoteReads:   c.RemoteReads.Load(),
@@ -282,6 +289,23 @@ type Table struct {
 	evictMu sync.Mutex
 	ring    []*Frame
 	hand    int
+
+	obsP atomic.Pointer[tableObs] // optional metrics/trace sink; may be empty
+}
+
+// tableObs carries the table's registry handles: mirrored counters plus the
+// frame.* trace events consumed by the pin/slot-leak checker.
+type tableObs struct {
+	reg  *obs.Registry
+	name string
+
+	hits, misses, evictions *obs.Counter
+	retires, evictFailures  *obs.Counter
+}
+
+// emit publishes one frame event with this table as the actor.
+func (o *tableObs) emit(vnanos int64, typ string, page uint64, aux int64) {
+	o.reg.Emit(vnanos, typ, o.name, page, aux)
 }
 
 // New builds a table over cfg.Store.
@@ -338,6 +362,28 @@ func (t *Table) Stats() Stats {
 	return s
 }
 
+// SetObserver registers the table's counters (frametab.<name>.hits / misses
+// / evictions / retires / evict_failures) with reg and starts emitting
+// frame.* trace events (pin, unpin, load, evict, retire, evict.error) under
+// the actor name. Pools re-apply this after rebuilding their table on a
+// crash/rejoin path. A nil reg detaches.
+func (t *Table) SetObserver(reg *obs.Registry, name string) {
+	if reg == nil {
+		t.obsP.Store(nil)
+		return
+	}
+	p := "frametab." + name + "."
+	t.obsP.Store(&tableObs{
+		reg:           reg,
+		name:          name,
+		hits:          reg.Counter(p + "hits"),
+		misses:        reg.Counter(p + "misses"),
+		evictions:     reg.Counter(p + "evictions"),
+		retires:       reg.Counter(p + "retires"),
+		evictFailures: reg.Counter(p + "evict_failures"),
+	})
+}
+
 // Resident reports how many frames the table currently holds.
 func (t *Table) Resident() int { return int(t.resident.Load()) }
 
@@ -379,6 +425,9 @@ func (t *Table) Lookup(id uint64) *Frame {
 // Unpin drops one pin (lock-free; see the pins field comment).
 func (t *Table) Unpin(f *Frame) {
 	f.pins.Add(-1)
+	if o := t.obsP.Load(); o != nil {
+		o.emit(0, obs.EvFrameUnpin, f.id, 0)
+	}
 }
 
 // unhit unpins a frame whose load failed under a waiting getter and
@@ -389,6 +438,10 @@ func (t *Table) unhit(f *Frame) {
 	sh.mu.Lock()
 	sh.hits--
 	sh.mu.Unlock()
+	if o := t.obsP.Load(); o != nil {
+		o.hits.Add(-1)
+		o.emit(0, obs.EvFrameUnpin, f.id, 0)
+	}
 }
 
 // Snapshot returns the resident (optionally: dirty-only) frames, walking
@@ -554,7 +607,20 @@ func (t *Table) evictOne(clk *simclock.Clock) error {
 	}
 	t.resident.Add(-1)
 	t.Counters.Evictions.Add(1)
-	return t.evictor.Evict(clk, victim.id, victim.slot, victim.dirty.Load())
+	o := t.obsP.Load()
+	if o != nil {
+		o.evictions.Inc()
+		o.emit(clk.Now(), obs.EvFrameEvict, victim.id, 0)
+	}
+	if err := t.evictor.Evict(clk, victim.id, victim.slot, victim.dirty.Load()); err != nil {
+		t.Counters.EvictFailures.Add(1)
+		if o != nil {
+			o.evictFailures.Inc()
+			o.emit(clk.Now(), obs.EvEvictError, victim.id, 0)
+		}
+		return err
+	}
+	return nil
 }
 
 // --- generic get / create ---------------------------------------------------
@@ -570,6 +636,10 @@ func (t *Table) Get(clk *simclock.Clock, id uint64, mode Mode) (*Frame, error) {
 			f.pins.Add(1)
 			sh.hits++
 			sh.mu.Unlock()
+			if o := t.obsP.Load(); o != nil {
+				o.hits.Inc()
+				o.emit(clk.Now(), obs.EvFramePin, id, 0)
+			}
 			if !f.waitReady() {
 				t.unhit(f) // load failed under us; retry as a miss
 				continue
@@ -585,7 +655,9 @@ func (t *Table) Get(clk *simclock.Clock, id uint64, mode Mode) (*Frame, error) {
 				}
 				if !ok {
 					t.Unpin(f)
-					t.retire(clk, f)
+					if err := t.retire(clk, f); err != nil {
+						return nil, err
+					}
 					continue // re-register as a miss
 				}
 			}
@@ -613,6 +685,10 @@ func (t *Table) Get(clk *simclock.Clock, id uint64, mode Mode) (*Frame, error) {
 		sh.misses++
 		sh.mu.Unlock()
 		t.resident.Add(1)
+		if o := t.obsP.Load(); o != nil {
+			o.misses.Inc()
+			o.emit(clk.Now(), obs.EvFramePin, id, 0)
+		}
 
 		slot, dirty, err := t.store.Fetch(clk, id)
 		if err != nil {
@@ -620,6 +696,9 @@ func (t *Table) Get(clk *simclock.Clock, id uint64, mode Mode) (*Frame, error) {
 			return nil, err
 		}
 		t.finishLoad(f, slot, dirty)
+		if o := t.obsP.Load(); o != nil {
+			o.emit(clk.Now(), obs.EvFrameLoad, id, 0)
+		}
 		return t.acquire(clk, f, mode, false)
 	}
 }
@@ -642,6 +721,9 @@ func (t *Table) Create(clk *simclock.Clock, id uint64) (*Frame, error) {
 	sh.frames[id] = f
 	sh.mu.Unlock()
 	t.resident.Add(1)
+	if o := t.obsP.Load(); o != nil {
+		o.emit(clk.Now(), obs.EvFramePin, id, 0)
+	}
 
 	slot, err := t.store.Create(clk, id)
 	if err != nil {
@@ -649,6 +731,9 @@ func (t *Table) Create(clk *simclock.Clock, id uint64) (*Frame, error) {
 		return nil, err
 	}
 	t.finishLoad(f, slot, true)
+	if o := t.obsP.Load(); o != nil {
+		o.emit(clk.Now(), obs.EvFrameLoad, id, 0)
+	}
 	return t.acquire(clk, f, Write, true)
 }
 
@@ -705,23 +790,43 @@ func (t *Table) abortLoad(f *Frame) {
 	f.pins.Add(-1)
 	t.resident.Add(-1)
 	close(f.loaded) // ready stays false: waiters retry as a fresh miss
+	if o := t.obsP.Load(); o != nil {
+		o.emit(0, obs.EvFrameUnpin, f.id, 0)
+	}
 }
 
 // retire discards a frame a Revalidator rejected, returning its slot to
 // the store. Only the caller that wins the removal race runs the cleanup;
-// the identity check keeps a re-registered successor frame safe.
-func (t *Table) retire(clk *simclock.Clock, f *Frame) {
+// the identity check keeps a re-registered successor frame safe. An
+// EvictStore failure is returned — a silently swallowed error here leaks
+// the slot: the frame is already detached, so nothing would ever hand the
+// slot back to the store.
+func (t *Table) retire(clk *simclock.Clock, f *Frame) error {
 	sh := t.shardOf(f.id)
 	sh.mu.Lock()
 	if cur, ok := sh.frames[f.id]; !ok || cur != f || f.pins.Load() > 0 {
 		sh.mu.Unlock()
-		return // gone already, superseded, or still pinned elsewhere
+		return nil // gone already, superseded, or still pinned elsewhere
 	}
 	delete(sh.frames, f.id)
 	sh.mu.Unlock()
 	t.detach(f)
-	if t.evictor != nil {
-		// Slot recycling, not a capacity eviction: no Evictions count.
-		_ = t.evictor.Evict(clk, f.id, f.slot, false)
+	// Slot recycling, not a capacity eviction: Retires, not Evictions.
+	t.Counters.Retires.Add(1)
+	o := t.obsP.Load()
+	if o != nil {
+		o.retires.Inc()
+		o.emit(clk.Now(), obs.EvFrameRetire, f.id, 0)
 	}
+	if t.evictor != nil {
+		if err := t.evictor.Evict(clk, f.id, f.slot, false); err != nil {
+			t.Counters.EvictFailures.Add(1)
+			if o != nil {
+				o.evictFailures.Inc()
+				o.emit(clk.Now(), obs.EvEvictError, f.id, 0)
+			}
+			return fmt.Errorf("frametab: retiring stale page %d: %w", f.id, err)
+		}
+	}
+	return nil
 }

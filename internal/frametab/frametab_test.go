@@ -3,9 +3,11 @@ package frametab
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"testing"
 
+	"polarcxlmem/internal/obs"
 	"polarcxlmem/internal/simclock"
 )
 
@@ -330,5 +332,135 @@ func TestParallelGetSingleLoad(t *testing.T) {
 	}
 	if got := st.Hits + st.Misses; got != goroutines*500 {
 		t.Fatalf("hits+misses = %d, want %d", got, goroutines*500)
+	}
+}
+
+// retireStore wraps memStore with a togglable Revalidator and a failable
+// EvictStore, to exercise the retire path.
+type retireStore struct {
+	*memStore
+	rmu      sync.Mutex
+	stale    bool
+	evictErr error
+}
+
+func (s *retireStore) set(stale bool, evictErr error) {
+	s.rmu.Lock()
+	s.stale, s.evictErr = stale, evictErr
+	s.rmu.Unlock()
+}
+
+func (s *retireStore) Revalidate(clk *simclock.Clock, id uint64, slot any) (bool, error) {
+	s.rmu.Lock()
+	defer s.rmu.Unlock()
+	return !s.stale, nil
+}
+
+func (s *retireStore) Evict(clk *simclock.Clock, id uint64, slot any, dirty bool) error {
+	s.rmu.Lock()
+	err := s.evictErr
+	s.rmu.Unlock()
+	if err != nil {
+		return err
+	}
+	return s.memStore.Evict(clk, id, slot, dirty)
+}
+
+// TestRetireRefetchesAndCounts covers the healthy retire path: a hit whose
+// revalidation fails retires the frame (returning the slot to the store)
+// and re-registers the page as a fresh miss.
+func TestRetireRefetchesAndCounts(t *testing.T) {
+	clk := simclock.New()
+	s := &retireStore{memStore: newMemStore()}
+	s.durable[3] = []byte("v1......")
+	tab := New(Config{Shards: 1, Capacity: 4, Store: s, NotFound: errNoImage})
+
+	f, err := tab.Get(clk, 3, Read)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Unlock(Read)
+	tab.Unpin(f)
+
+	s.mu.Lock()
+	s.durable[3] = []byte("v2......")
+	s.mu.Unlock()
+	s.set(true, nil)
+	f2, err := tab.Get(clk, 3, Read)
+	if err != nil {
+		t.Fatalf("retire + refetch: %v", err)
+	}
+	if string(f2.Slot().([]byte)) != "v2......" {
+		t.Fatalf("slot = %q, want the refetched image", f2.Slot())
+	}
+	if f2 == f {
+		t.Fatal("revalidation-rejected frame was reused")
+	}
+	f2.Unlock(Read)
+	tab.Unpin(f2)
+
+	st := tab.Stats()
+	if st.Retires != 1 {
+		t.Fatalf("Retires = %d, want 1", st.Retires)
+	}
+	if st.EvictFailures != 0 {
+		t.Fatalf("EvictFailures = %d, want 0", st.EvictFailures)
+	}
+	if st.Evictions != 0 {
+		t.Fatalf("retire counted as a capacity eviction: %+v", st)
+	}
+	if tab.PinnedFrames() != 0 {
+		t.Fatalf("pin leak: %d", tab.PinnedFrames())
+	}
+}
+
+// TestRetireEvictFailurePropagates is the regression test for retire()
+// discarding the EvictStore error: the frame is already detached when the
+// store refuses the slot, so swallowing the error leaks the slot silently.
+// Get must surface it, count it, and emit the evict-error event.
+func TestRetireEvictFailurePropagates(t *testing.T) {
+	clk := simclock.New()
+	s := &retireStore{memStore: newMemStore()}
+	s.durable[5] = []byte("durable!")
+	tab := New(Config{Shards: 1, Capacity: 4, Store: s, NotFound: errNoImage})
+
+	reg := obs.New(obs.Options{})
+	leak := obs.NewFrameLeakChecker()
+	reg.AddChecker(leak)
+	tab.SetObserver(reg, "test")
+
+	f, err := tab.Get(clk, 5, Read)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Unlock(Read)
+	tab.Unpin(f)
+
+	errEvict := errors.New("evict store: out of space")
+	s.set(true, errEvict)
+	if _, err := tab.Get(clk, 5, Read); !errors.Is(err, errEvict) {
+		t.Fatalf("Get after failed retire = %v, want wrapped %v", err, errEvict)
+	}
+
+	st := tab.Stats()
+	if st.Retires != 1 {
+		t.Fatalf("Retires = %d, want 1", st.Retires)
+	}
+	if st.EvictFailures != 1 {
+		t.Fatalf("EvictFailures = %d, want 1", st.EvictFailures)
+	}
+	if tab.PinnedFrames() != 0 {
+		t.Fatalf("pin leak after failed retire: %d", tab.PinnedFrames())
+	}
+
+	violations := reg.Finish()
+	found := false
+	for _, v := range violations {
+		if v.Checker == leak.Name() && strings.Contains(v.Detail, "evict-store failure") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("FrameLeakChecker missed the evict failure; violations = %v", violations)
 	}
 }

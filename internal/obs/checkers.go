@@ -1,0 +1,289 @@
+package obs
+
+import "fmt"
+
+// Checker is a trace-stream invariant monitor. The registry calls OnEvent
+// synchronously under its emit mutex for EVERY event (checkers are never
+// sampled), so implementations need no internal locking but must be cheap.
+// Finish runs the end-of-run leak analysis; call it exactly once, after the
+// instrumented workload has quiesced.
+type Checker interface {
+	Name() string
+	OnEvent(Event)
+	// Violations returns the violations recorded so far (not including
+	// end-of-run leaks).
+	Violations() []Violation
+	// Finish performs terminal analysis (e.g. leaked grants/pins) and
+	// returns ALL violations, live and terminal.
+	Finish() []Violation
+}
+
+// Violation is one invariant breach, attributable to the event that exposed
+// it.
+type Violation struct {
+	Checker string `json:"checker"`
+	Seq     uint64 `json:"seq,omitempty"`
+	Actor   string `json:"actor,omitempty"`
+	Page    uint64 `json:"page,omitempty"`
+	Detail  string `json:"detail"`
+}
+
+// maxViolations bounds recorded violations per checker: a systemically
+// broken run would otherwise accumulate one violation per event.
+const maxViolations = 100
+
+// violationLog is the shared bounded recorder embedded by every checker.
+type violationLog struct {
+	name string
+	vs   []Violation
+}
+
+func (l *violationLog) add(ev Event, format string, args ...any) {
+	if len(l.vs) >= maxViolations {
+		return
+	}
+	l.vs = append(l.vs, Violation{
+		Checker: l.name,
+		Seq:     ev.Seq,
+		Actor:   ev.Actor,
+		Page:    ev.Page,
+		Detail:  fmt.Sprintf(format, args...),
+	})
+}
+
+func (l *violationLog) addTerminal(actor string, page uint64, format string, args ...any) {
+	if len(l.vs) >= maxViolations {
+		return
+	}
+	l.vs = append(l.vs, Violation{
+		Checker: l.name,
+		Actor:   actor,
+		Page:    page,
+		Detail:  fmt.Sprintf(format, args...),
+	})
+}
+
+func (l *violationLog) snapshot() []Violation {
+	out := make([]Violation, len(l.vs))
+	copy(out, l.vs)
+	return out
+}
+
+// pageNode keys per-(page, node) checker state.
+type pageNode struct {
+	page uint64
+	node string
+}
+
+// StaleReadChecker watches the sharing coherency protocol: a node whose
+// invalid flag was set for a page must flush-and-ack before its next read of
+// that page, and a publication that leaves dirty lines behind (a dropped
+// clflush) makes every OTHER node's subsequent read of the page suspect.
+//
+// Event contract (see node.go / sharedpool.go emit sites):
+//
+//	EvInvalidSet(target, page)        -> target's copy of page is stale
+//	EvInvalidAck(node, page, aux)     -> node flushed; aux = lines still
+//	                                     resident after the flush, so aux>0
+//	                                     means the flush was dropped and the
+//	                                     copy REMAINS stale
+//	EvPublish(writer, page, aux)      -> aux>0 marks the page torn by writer
+//	EvSharedRead(node, page)          -> the judged action
+//	EvLockReclaim(node, page)         -> node evicted; its staleness is moot
+type StaleReadChecker struct {
+	violationLog
+	stale map[pageNode]bool // pending invalidations
+	torn  map[uint64]string // page -> writer of a torn publication
+}
+
+// NewStaleReadChecker builds the coherency checker.
+func NewStaleReadChecker() *StaleReadChecker {
+	return &StaleReadChecker{
+		violationLog: violationLog{name: "stale-read"},
+		stale:        make(map[pageNode]bool),
+		torn:         make(map[uint64]string),
+	}
+}
+
+// Name implements Checker.
+func (c *StaleReadChecker) Name() string { return c.name }
+
+// OnEvent implements Checker.
+func (c *StaleReadChecker) OnEvent(ev Event) {
+	key := pageNode{ev.Page, ev.Actor}
+	switch ev.Type {
+	case EvInvalidSet:
+		c.stale[key] = true
+	case EvInvalidAck:
+		if ev.Aux == 0 {
+			delete(c.stale, key)
+		}
+		// aux > 0: the flush was dropped; the copy is still stale, keep it.
+	case EvPublish:
+		if ev.Aux > 0 {
+			c.torn[ev.Page] = ev.Actor
+		} else {
+			delete(c.torn, ev.Page)
+		}
+	case EvSharedRead:
+		if c.stale[key] {
+			c.add(ev, "%s read page %d with a pending invalidation (stale cached copy)", ev.Actor, ev.Page)
+		}
+		if w, ok := c.torn[ev.Page]; ok && w != ev.Actor {
+			c.add(ev, "%s read page %d after %s's publication flush was lost (torn write)", ev.Actor, ev.Page, w)
+		}
+	case EvLockReclaim:
+		delete(c.stale, key)
+	}
+}
+
+// Violations implements Checker.
+func (c *StaleReadChecker) Violations() []Violation { return c.snapshot() }
+
+// Finish implements Checker: pending invalidations at shutdown are NOT
+// violations (a node may legitimately never touch the page again).
+func (c *StaleReadChecker) Finish() []Violation { return c.snapshot() }
+
+// LockLeakChecker verifies fusion grant/release pairing: no double-grants,
+// no release-without-grant, no write grant while readers exist (and vice
+// versa), and nothing still held at Finish.
+type LockLeakChecker struct {
+	violationLog
+	writer map[uint64]string // page -> write holder
+	reader map[pageNode]int  // (page, node) -> reentrant read count
+}
+
+// NewLockLeakChecker builds the grant/release pairing checker.
+func NewLockLeakChecker() *LockLeakChecker {
+	return &LockLeakChecker{
+		violationLog: violationLog{name: "lock-leak"},
+		writer:       make(map[uint64]string),
+		reader:       make(map[pageNode]int),
+	}
+}
+
+// Name implements Checker.
+func (c *LockLeakChecker) Name() string { return c.name }
+
+// readersOn counts read grants outstanding on a page, any node.
+func (c *LockLeakChecker) readersOn(page uint64) int {
+	n := 0
+	for k, cnt := range c.reader {
+		if k.page == page {
+			n += cnt
+		}
+	}
+	return n
+}
+
+// OnEvent implements Checker.
+func (c *LockLeakChecker) OnEvent(ev Event) {
+	key := pageNode{ev.Page, ev.Actor}
+	switch ev.Type {
+	case EvLockGrant:
+		if ev.Aux != 0 { // write grant
+			if w, ok := c.writer[ev.Page]; ok {
+				c.add(ev, "write grant to %s while %s still holds the write lock on page %d", ev.Actor, w, ev.Page)
+			}
+			if n := c.readersOn(ev.Page); n > 0 {
+				c.add(ev, "write grant to %s with %d read grant(s) outstanding on page %d", ev.Actor, n, ev.Page)
+			}
+			c.writer[ev.Page] = ev.Actor
+		} else {
+			if w, ok := c.writer[ev.Page]; ok {
+				c.add(ev, "read grant to %s while %s holds the write lock on page %d", ev.Actor, w, ev.Page)
+			}
+			c.reader[key]++
+		}
+	case EvLockRelease:
+		if ev.Aux != 0 {
+			if w, ok := c.writer[ev.Page]; !ok || w != ev.Actor {
+				c.add(ev, "write release by %s but page %d write lock held by %q", ev.Actor, ev.Page, w)
+			}
+			delete(c.writer, ev.Page)
+		} else {
+			if c.reader[key] == 0 {
+				c.add(ev, "read release by %s which holds no read grant on page %d", ev.Actor, ev.Page)
+			} else {
+				c.reader[key]--
+				if c.reader[key] == 0 {
+					delete(c.reader, key)
+				}
+			}
+		}
+	case EvLockReclaim:
+		if c.writer[ev.Page] == ev.Actor {
+			delete(c.writer, ev.Page)
+		}
+		delete(c.reader, key)
+	}
+}
+
+// Violations implements Checker.
+func (c *LockLeakChecker) Violations() []Violation { return c.snapshot() }
+
+// Finish implements Checker: anything still granted is a leak.
+func (c *LockLeakChecker) Finish() []Violation {
+	for page, node := range c.writer {
+		c.addTerminal(node, page, "leaked write lock: %s never released page %d", node, page)
+	}
+	for key, n := range c.reader {
+		c.addTerminal(key.node, key.page, "leaked read lock: %s never released page %d (%d grant(s))", key.node, key.page, n)
+	}
+	return c.snapshot()
+}
+
+// FrameLeakChecker verifies frametab pin discipline (every pin is unpinned,
+// never unpinned below zero) and flags EvictStore failures, which leak the
+// slot's contents.
+type FrameLeakChecker struct {
+	violationLog
+	pins map[pageNode]int
+}
+
+// NewFrameLeakChecker builds the pin/slot-leak checker.
+func NewFrameLeakChecker() *FrameLeakChecker {
+	return &FrameLeakChecker{
+		violationLog: violationLog{name: "frame-leak"},
+		pins:         make(map[pageNode]int),
+	}
+}
+
+// Name implements Checker.
+func (c *FrameLeakChecker) Name() string { return c.name }
+
+// OnEvent implements Checker.
+func (c *FrameLeakChecker) OnEvent(ev Event) {
+	key := pageNode{ev.Page, ev.Actor}
+	switch ev.Type {
+	case EvFramePin:
+		c.pins[key]++
+	case EvFrameUnpin:
+		if c.pins[key] == 0 {
+			c.add(ev, "%s unpinned page %d below zero", ev.Actor, ev.Page)
+		} else {
+			c.pins[key]--
+			if c.pins[key] == 0 {
+				delete(c.pins, key)
+			}
+		}
+	case EvEvictError:
+		c.add(ev, "%s evict-store failure on page %d leaks the slot contents", ev.Actor, ev.Page)
+	}
+}
+
+// Violations implements Checker.
+func (c *FrameLeakChecker) Violations() []Violation { return c.snapshot() }
+
+// Finish implements Checker: outstanding pins at shutdown are leaks.
+func (c *FrameLeakChecker) Finish() []Violation {
+	for key, n := range c.pins {
+		c.addTerminal(key.node, key.page, "leaked pin: %s still holds %d pin(s) on page %d", key.node, n, key.page)
+	}
+	return c.snapshot()
+}
+
+// DefaultCheckers returns one of each invariant checker, ready to attach.
+func DefaultCheckers() []Checker {
+	return []Checker{NewStaleReadChecker(), NewLockLeakChecker(), NewFrameLeakChecker()}
+}

@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func hasViolation(vs []Violation, substr string) bool {
+	for _, v := range vs {
+		if strings.Contains(v.Detail, substr) {
+			return true
+		}
+	}
+	return false
+}
+
+// TestStaleReadCheckerFires: synthetic trace of the skipped-clflush failure
+// mode — invalidate set, no ack, node reads anyway.
+func TestStaleReadCheckerFires(t *testing.T) {
+	c := NewStaleReadChecker()
+	r := New(Options{})
+	r.AddChecker(c)
+
+	r.Emit(0, EvInvalidSet, "node-1", 7, 0) // writer invalidates node-1's copy
+	r.Emit(1, EvSharedRead, "node-1", 7, 0) // reads without honouring the flag
+	if vs := c.Violations(); !hasViolation(vs, "pending invalidation") {
+		t.Fatalf("stale read not detected: %+v", vs)
+	}
+
+	// Honouring the flag clears the state.
+	c2 := NewStaleReadChecker()
+	r2 := New(Options{})
+	r2.AddChecker(c2)
+	r2.Emit(0, EvInvalidSet, "node-1", 7, 0)
+	r2.Emit(1, EvInvalidAck, "node-1", 7, 0) // flushed clean
+	r2.Emit(2, EvSharedRead, "node-1", 7, 0)
+	if vs := c2.Finish(); len(vs) != 0 {
+		t.Fatalf("clean ack still flagged: %+v", vs)
+	}
+}
+
+// TestStaleReadCheckerDroppedAckFlush: an ack whose flush left lines
+// resident (Aux > 0) does NOT clear staleness.
+func TestStaleReadCheckerDroppedAckFlush(t *testing.T) {
+	c := NewStaleReadChecker()
+	c.OnEvent(Event{Seq: 1, Type: EvInvalidSet, Actor: "n2", Page: 3})
+	c.OnEvent(Event{Seq: 2, Type: EvInvalidAck, Actor: "n2", Page: 3, Aux: 4}) // 4 lines survived
+	c.OnEvent(Event{Seq: 3, Type: EvSharedRead, Actor: "n2", Page: 3})
+	if vs := c.Violations(); !hasViolation(vs, "pending invalidation") {
+		t.Fatalf("dropped ack flush not detected: %+v", vs)
+	}
+}
+
+// TestStaleReadCheckerTornPublish: a publication flush that left dirty lines
+// behind poisons other nodes' reads until republished clean.
+func TestStaleReadCheckerTornPublish(t *testing.T) {
+	c := NewStaleReadChecker()
+	c.OnEvent(Event{Seq: 1, Type: EvPublish, Actor: "writer", Page: 5, Aux: 2}) // torn
+	c.OnEvent(Event{Seq: 2, Type: EvSharedRead, Actor: "writer", Page: 5})      // writer sees own cache: fine
+	c.OnEvent(Event{Seq: 3, Type: EvSharedRead, Actor: "reader", Page: 5})      // other node: violation
+	if vs := c.Violations(); len(vs) != 1 || !hasViolation(vs, "torn write") {
+		t.Fatalf("torn publish: %+v", vs)
+	}
+	c.OnEvent(Event{Seq: 4, Type: EvPublish, Actor: "writer", Page: 5, Aux: 0}) // republished clean
+	c.OnEvent(Event{Seq: 5, Type: EvSharedRead, Actor: "reader", Page: 5})
+	if vs := c.Violations(); len(vs) != 1 {
+		t.Fatalf("clean republish still flagged: %+v", vs)
+	}
+}
+
+// TestStaleReadCheckerReclaimClears: evicting a node cancels its pending
+// invalidations (its cache is gone with it).
+func TestStaleReadCheckerReclaimClears(t *testing.T) {
+	c := NewStaleReadChecker()
+	c.OnEvent(Event{Seq: 1, Type: EvInvalidSet, Actor: "dead", Page: 9})
+	c.OnEvent(Event{Seq: 2, Type: EvLockReclaim, Actor: "dead", Page: 9})
+	c.OnEvent(Event{Seq: 3, Type: EvSharedRead, Actor: "dead", Page: 9}) // post-rejoin read
+	if vs := c.Finish(); len(vs) != 0 {
+		t.Fatalf("reclaim did not clear staleness: %+v", vs)
+	}
+}
+
+// TestLockLeakChecker covers pairing violations and the Finish leak scan.
+func TestLockLeakChecker(t *testing.T) {
+	t.Run("double write grant", func(t *testing.T) {
+		c := NewLockLeakChecker()
+		c.OnEvent(Event{Seq: 1, Type: EvLockGrant, Actor: "a", Page: 1, Aux: 1})
+		c.OnEvent(Event{Seq: 2, Type: EvLockGrant, Actor: "b", Page: 1, Aux: 1})
+		if vs := c.Violations(); !hasViolation(vs, "still holds the write lock") {
+			t.Fatalf("double write grant: %+v", vs)
+		}
+	})
+	t.Run("read grant under writer", func(t *testing.T) {
+		c := NewLockLeakChecker()
+		c.OnEvent(Event{Seq: 1, Type: EvLockGrant, Actor: "a", Page: 1, Aux: 1})
+		c.OnEvent(Event{Seq: 2, Type: EvLockGrant, Actor: "b", Page: 1, Aux: 0})
+		if vs := c.Violations(); !hasViolation(vs, "holds the write lock") {
+			t.Fatalf("read-under-writer: %+v", vs)
+		}
+	})
+	t.Run("release without grant", func(t *testing.T) {
+		c := NewLockLeakChecker()
+		c.OnEvent(Event{Seq: 1, Type: EvLockRelease, Actor: "a", Page: 2, Aux: 1})
+		c.OnEvent(Event{Seq: 2, Type: EvLockRelease, Actor: "a", Page: 2, Aux: 0})
+		if vs := c.Violations(); len(vs) != 2 {
+			t.Fatalf("unmatched releases: %+v", vs)
+		}
+	})
+	t.Run("leak at finish", func(t *testing.T) {
+		c := NewLockLeakChecker()
+		c.OnEvent(Event{Seq: 1, Type: EvLockGrant, Actor: "a", Page: 3, Aux: 1})
+		c.OnEvent(Event{Seq: 2, Type: EvLockGrant, Actor: "b", Page: 4, Aux: 0})
+		vs := c.Finish()
+		if !hasViolation(vs, "leaked write lock") || !hasViolation(vs, "leaked read lock") {
+			t.Fatalf("finish leaks: %+v", vs)
+		}
+	})
+	t.Run("clean pairing and reclaim", func(t *testing.T) {
+		c := NewLockLeakChecker()
+		c.OnEvent(Event{Seq: 1, Type: EvLockGrant, Actor: "a", Page: 1, Aux: 1})
+		c.OnEvent(Event{Seq: 2, Type: EvLockRelease, Actor: "a", Page: 1, Aux: 1})
+		c.OnEvent(Event{Seq: 3, Type: EvLockGrant, Actor: "a", Page: 1, Aux: 0})
+		c.OnEvent(Event{Seq: 4, Type: EvLockGrant, Actor: "b", Page: 1, Aux: 0})
+		c.OnEvent(Event{Seq: 5, Type: EvLockRelease, Actor: "a", Page: 1, Aux: 0})
+		c.OnEvent(Event{Seq: 6, Type: EvLockRelease, Actor: "b", Page: 1, Aux: 0})
+		// Crash-reclaim path: grant never released, but reclaim absolves it.
+		c.OnEvent(Event{Seq: 7, Type: EvLockGrant, Actor: "dead", Page: 2, Aux: 1})
+		c.OnEvent(Event{Seq: 8, Type: EvLockReclaim, Actor: "dead", Page: 2})
+		if vs := c.Finish(); len(vs) != 0 {
+			t.Fatalf("clean trace flagged: %+v", vs)
+		}
+	})
+}
+
+// TestFrameLeakChecker covers unpin-below-zero, evict-store failures, and
+// the Finish pin-leak scan.
+func TestFrameLeakChecker(t *testing.T) {
+	c := NewFrameLeakChecker()
+	c.OnEvent(Event{Seq: 1, Type: EvFramePin, Actor: "pool", Page: 1})
+	c.OnEvent(Event{Seq: 2, Type: EvFrameUnpin, Actor: "pool", Page: 1})
+	c.OnEvent(Event{Seq: 3, Type: EvFrameUnpin, Actor: "pool", Page: 1}) // below zero
+	if vs := c.Violations(); !hasViolation(vs, "below zero") {
+		t.Fatalf("unpin below zero: %+v", vs)
+	}
+
+	c2 := NewFrameLeakChecker()
+	c2.OnEvent(Event{Seq: 1, Type: EvEvictError, Actor: "pool", Page: 4})
+	if vs := c2.Violations(); !hasViolation(vs, "evict-store failure") {
+		t.Fatalf("evict error: %+v", vs)
+	}
+
+	c3 := NewFrameLeakChecker()
+	c3.OnEvent(Event{Seq: 1, Type: EvFramePin, Actor: "pool", Page: 2})
+	c3.OnEvent(Event{Seq: 2, Type: EvFramePin, Actor: "pool", Page: 2})
+	c3.OnEvent(Event{Seq: 3, Type: EvFrameUnpin, Actor: "pool", Page: 2})
+	if vs := c3.Finish(); !hasViolation(vs, "leaked pin") {
+		t.Fatalf("pin leak: %+v", vs)
+	}
+}
+
+// TestViolationCap: a systemically broken stream stops recording at the
+// per-checker cap instead of growing without bound.
+func TestViolationCap(t *testing.T) {
+	c := NewFrameLeakChecker()
+	for i := 0; i < 10*maxViolations; i++ {
+		c.OnEvent(Event{Seq: uint64(i + 1), Type: EvFrameUnpin, Actor: "p", Page: 1})
+	}
+	if n := len(c.Violations()); n != maxViolations {
+		t.Fatalf("violations = %d, want cap %d", n, maxViolations)
+	}
+}

@@ -1,0 +1,94 @@
+package obs
+
+// Event is one structured trace record. The schema is deliberately flat and
+// fixed-width so events are cheap to emit and trivially JSON-encodable:
+//
+//	Seq    — registry-global sequence number (total order over all emitters)
+//	VNanos — virtual time of the event, 0 when the emitter has no clock
+//	Type   — one of the Ev* constants below
+//	Actor  — the node/host/pool the event is about
+//	Page   — the page or frame id, 0 when not page-scoped
+//	Aux    — type-specific payload (see each constant)
+type Event struct {
+	Seq    uint64 `json:"seq"`
+	VNanos int64  `json:"vnanos"`
+	Type   string `json:"type"`
+	Actor  string `json:"actor"`
+	Page   uint64 `json:"page,omitempty"`
+	Aux    int64  `json:"aux,omitempty"`
+}
+
+// Trace event types. Checkers key off these; docs/observability.md is the
+// human-facing contract.
+const (
+	// EvLockGrant: Actor was granted the page lock. Aux 1 = write, 0 = read.
+	EvLockGrant = "lock.grant"
+	// EvLockRelease: Actor released the page lock. Aux 1 = write, 0 = read.
+	EvLockRelease = "lock.release"
+	// EvLockReclaim: Actor's grants on Page were force-released (eviction of
+	// a dead node). Also clears the node's coherency-staleness state.
+	EvLockReclaim = "lock.reclaim"
+
+	// EvInvalidSet: a writer set Actor's invalid flag for Page (Actor is the
+	// TARGET node, not the writer).
+	EvInvalidSet = "coherency.invalidate"
+	// EvInvalidAck: Actor honoured its invalid flag for Page by flushing its
+	// cached copy. Aux = cache lines of the page still resident AFTER the
+	// flush; nonzero means the flush was lost and the copy is still stale.
+	EvInvalidAck = "coherency.ack"
+	// EvPublish: Actor published its write of Page (clflush after update).
+	// Aux = dirty lines of the page remaining AFTER the publication flush;
+	// nonzero means the publication is torn.
+	EvPublish = "coherency.publish"
+	// EvSharedRead: Actor completed a coherency-protocol read of Page.
+	EvSharedRead = "coherency.read"
+
+	// EvFramePin: Actor's frame table pinned Page (Get/Create hit or load).
+	EvFramePin = "frame.pin"
+	// EvFrameUnpin: Actor's frame table dropped one pin on Page.
+	EvFrameUnpin = "frame.unpin"
+	// EvFrameLoad: Actor's frame table finished loading Page from its store.
+	EvFrameLoad = "frame.load"
+	// EvFrameEvict: Actor's frame table evicted Page (capacity eviction).
+	EvFrameEvict = "frame.evict"
+	// EvFrameRetire: Actor's frame table retired Page (revalidation miss —
+	// slot recycling, not a capacity eviction).
+	EvFrameRetire = "frame.retire"
+	// EvEvictError: Actor's frame table got an error from its EvictStore
+	// while evicting/retiring Page — the slot's contents are in doubt.
+	EvEvictError = "frame.evict.error"
+)
+
+// ring is a fixed-capacity event buffer; once full, new events overwrite the
+// oldest. All access happens under the registry's emitMu.
+type ring struct {
+	buf  []Event
+	next int
+	full bool
+}
+
+func newRing(capacity int) *ring {
+	return &ring{buf: make([]Event, capacity)}
+}
+
+func (r *ring) record(ev Event) {
+	r.buf[r.next] = ev
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+}
+
+// events copies out the contents, oldest first.
+func (r *ring) events() []Event {
+	if !r.full {
+		out := make([]Event, r.next)
+		copy(out, r.buf[:r.next])
+		return out
+	}
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}

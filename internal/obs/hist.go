@@ -1,0 +1,170 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// histBuckets is one bucket per possible bit-length of a non-negative int64:
+// bucket 0 holds exactly the value 0 and bucket i (i >= 1) holds values in
+// [2^(i-1), 2^i - 1].
+const histBuckets = 64
+
+// Histogram accumulates non-negative virtual-time samples (nanoseconds) into
+// log2 buckets. It is entirely atomic — no mutex — because instrumented code
+// observes into it while holding simulation locks (e.g. the wait observer
+// fires under simclock.Resource's mutex); an Observe must never block or
+// call back into the simulation. The nil Histogram is a valid no-op handle.
+//
+// Quantile estimates return the upper bound of the selected bucket, so for a
+// true value v >= 1 the estimate e satisfies v <= e < 2v.
+type Histogram struct {
+	count atomic.Int64
+	sum   atomic.Int64
+	// min and max store sample+1, with 0 meaning "no samples yet", so the
+	// zero-value Histogram needs no initialization and the CAS loops have an
+	// unambiguous unset state even while racing with the first Observe.
+	min     atomic.Int64
+	max     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// bucketOf maps a sample to its log2 bucket.
+func bucketOf(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(v))
+}
+
+// bucketUpper is the largest value a bucket holds.
+func bucketUpper(i int) int64 {
+	if i <= 0 {
+		return 0
+	}
+	if i >= 63 {
+		return int64(^uint64(0) >> 1)
+	}
+	return (int64(1) << i) - 1
+}
+
+// Observe records one sample. Negative samples are clamped to zero (they can
+// only arise from virtual-time arithmetic bugs upstream; clamping keeps the
+// histogram total-ordered). No-op on a nil handle.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bucketOf(v)].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+	enc := v + 1
+	for {
+		cur := h.min.Load()
+		if cur != 0 && cur <= enc {
+			break
+		}
+		if h.min.CompareAndSwap(cur, enc) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if cur >= enc {
+			break
+		}
+		if h.max.CompareAndSwap(cur, enc) {
+			break
+		}
+	}
+}
+
+// Count returns the number of samples. Zero on a nil handle.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sample total. Zero on a nil handle.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Min returns the smallest sample, 0 when empty or nil.
+func (h *Histogram) Min() int64 {
+	if h == nil {
+		return 0
+	}
+	if enc := h.min.Load(); enc > 0 {
+		return enc - 1
+	}
+	return 0
+}
+
+// Max returns the largest sample, 0 when empty or nil.
+func (h *Histogram) Max() int64 {
+	if h == nil {
+		return 0
+	}
+	if enc := h.max.Load(); enc > 0 {
+		return enc - 1
+	}
+	return 0
+}
+
+// Quantile estimates the q-th quantile (0 < q <= 1) as the upper bound of
+// the bucket holding the ceil(q*count)-th smallest sample. Returns 0 when
+// empty or nil.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h == nil {
+		return 0
+	}
+	n := h.count.Load()
+	if n <= 0 {
+		return 0
+	}
+	target := int64(q * float64(n))
+	if float64(target) < q*float64(n) {
+		target++
+	}
+	if target < 1 {
+		target = 1
+	}
+	if target > n {
+		target = n
+	}
+	var seen int64
+	for i := 0; i < histBuckets; i++ {
+		seen += h.buckets[i].Load()
+		if seen >= target {
+			return bucketUpper(i)
+		}
+	}
+	return h.Max()
+}
+
+// Snapshot summarizes the histogram. Concurrent Observes may leave the
+// fields mutually off by an in-flight sample; each field is individually
+// consistent.
+func (h *Histogram) Snapshot() HistSnapshot {
+	if h == nil || h.count.Load() == 0 {
+		return HistSnapshot{}
+	}
+	return HistSnapshot{
+		Count: h.count.Load(),
+		Sum:   h.sum.Load(),
+		Min:   h.Min(),
+		Max:   h.Max(),
+		P50:   h.Quantile(0.50),
+		P95:   h.Quantile(0.95),
+		P99:   h.Quantile(0.99),
+	}
+}

@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// TestHistogramQuantileVsBruteForce checks the log2-bucket quantile estimate
+// against a sorted-slice reference: for a true value v >= 1 the estimate e
+// must satisfy v <= e < 2v (bucket upper bound), and exactly v for v == 0.
+func TestHistogramQuantileVsBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(20250805))
+	for trial := 0; trial < 20; trial++ {
+		h := &Histogram{}
+		n := 1 + rng.Intn(2000)
+		samples := make([]int64, n)
+		for i := range samples {
+			switch rng.Intn(4) {
+			case 0:
+				samples[i] = int64(rng.Intn(10)) // small, incl. zero
+			case 1:
+				samples[i] = int64(rng.Intn(1_000_000))
+			default:
+				samples[i] = int64(rng.Intn(1 << rng.Intn(40)))
+			}
+			h.Observe(samples[i])
+		}
+		sorted := append([]int64(nil), samples...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+
+		for _, q := range []float64{0.01, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0} {
+			target := int((q * float64(n)) + 0.9999999)
+			if target < 1 {
+				target = 1
+			}
+			if target > n {
+				target = n
+			}
+			truth := sorted[target-1]
+			est := h.Quantile(q)
+			if truth == 0 {
+				if est != 0 {
+					t.Fatalf("trial %d q=%v: truth 0, est %d", trial, q, est)
+				}
+				continue
+			}
+			if est < truth || est >= 2*truth {
+				t.Fatalf("trial %d q=%v n=%d: truth %d, est %d outside [v, 2v)", trial, q, n, truth, est)
+			}
+		}
+		if h.Min() != sorted[0] || h.Max() != sorted[n-1] {
+			t.Fatalf("trial %d: min/max = %d/%d, want %d/%d", trial, h.Min(), h.Max(), sorted[0], sorted[n-1])
+		}
+		var sum int64
+		for _, v := range samples {
+			sum += v
+		}
+		if h.Sum() != sum || h.Count() != int64(n) {
+			t.Fatalf("trial %d: sum/count = %d/%d, want %d/%d", trial, h.Sum(), h.Count(), sum, n)
+		}
+	}
+}
+
+func TestHistogramEmptyAndNil(t *testing.T) {
+	var nilH *Histogram
+	nilH.Observe(5)
+	if nilH.Quantile(0.5) != 0 || nilH.Count() != 0 || nilH.Min() != 0 || nilH.Max() != 0 {
+		t.Fatal("nil histogram not inert")
+	}
+	h := &Histogram{}
+	if s := h.Snapshot(); s != (HistSnapshot{}) {
+		t.Fatalf("empty snapshot: %+v", s)
+	}
+	h.Observe(-5) // clamped to 0
+	if h.Min() != 0 || h.Max() != 0 || h.Sum() != 0 || h.Count() != 1 {
+		t.Fatalf("negative clamp: %+v", h.Snapshot())
+	}
+}
+
+// TestHistogramConcurrent is a -race exercise plus exact count/sum checks.
+func TestHistogramConcurrent(t *testing.T) {
+	h := &Histogram{}
+	const workers = 8
+	const iters = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				h.Observe(int64(id*iters + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Count() != workers*iters {
+		t.Fatalf("count = %d", h.Count())
+	}
+	want := int64(workers*iters) * int64(workers*iters-1) / 2
+	if h.Sum() != want {
+		t.Fatalf("sum = %d, want %d", h.Sum(), want)
+	}
+	if h.Min() != 0 || h.Max() != workers*iters-1 {
+		t.Fatalf("min/max = %d/%d", h.Min(), h.Max())
+	}
+}

@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestNilRegistryIsInert: every instrumented call site calls the registry
+// unconditionally, so the nil registry and nil handles must all no-op.
+func TestNilRegistryIsInert(t *testing.T) {
+	var r *Registry
+	r.Counter("x").Add(3)
+	r.Counter("x").Inc()
+	r.Gauge("g").Set(7)
+	r.Gauge("g").Add(1)
+	r.Histogram("h").Observe(5)
+	r.Emit(0, EvSharedRead, "n", 1, 0)
+	r.AddChecker(NewStaleReadChecker())
+	if got := r.Counter("x").Value(); got != 0 {
+		t.Fatalf("nil counter = %d", got)
+	}
+	if got := r.Histogram("h").Quantile(0.5); got != 0 {
+		t.Fatalf("nil histogram quantile = %d", got)
+	}
+	if evs := r.Events(); evs != nil {
+		t.Fatalf("nil registry events = %v", evs)
+	}
+	if vs := r.Finish(); vs != nil {
+		t.Fatalf("nil registry finish = %v", vs)
+	}
+	s := r.Snapshot()
+	if len(s.Counters) != 0 || len(s.Gauges) != 0 {
+		t.Fatalf("nil registry snapshot non-empty: %+v", s)
+	}
+}
+
+// TestRegistryConcurrency hammers every registry surface from many
+// goroutines; meaningful under -race.
+func TestRegistryConcurrency(t *testing.T) {
+	r := New(Options{RingCapacity: 128})
+	r.AddChecker(NewLockLeakChecker())
+	const workers = 8
+	const iters = 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			c := r.Counter("shared")
+			h := r.Histogram("lat")
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				r.Counter("other").Add(2)
+				r.Gauge("g").Set(int64(i))
+				h.Observe(int64(i % 1000))
+				pg := uint64(id)
+				r.Emit(int64(i), EvLockGrant, "node", pg, 1)
+				r.Emit(int64(i), EvLockRelease, "node", pg, 1)
+				_ = r.Snapshot()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Counter("shared").Value(); got != workers*iters {
+		t.Fatalf("shared counter = %d, want %d", got, workers*iters)
+	}
+	if got := r.Counter("other").Value(); got != 2*workers*iters {
+		t.Fatalf("other counter = %d, want %d", got, 2*workers*iters)
+	}
+	if got := r.Histogram("lat").Count(); got != workers*iters {
+		t.Fatalf("histogram count = %d, want %d", got, workers*iters)
+	}
+	// Grants and releases pair per page, so the lock checker stays clean.
+	if vs := r.Finish(); len(vs) != 0 {
+		t.Fatalf("lock checker violations: %+v", vs)
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := New(Options{})
+	r.Counter("a.b").Add(42)
+	r.Gauge("g").Set(-7)
+	r.Histogram("h").Observe(100)
+	r.Emit(5, EvPublish, "n1", 9, 0)
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &s); err != nil {
+		t.Fatalf("snapshot JSON does not parse: %v\n%s", err, buf.String())
+	}
+	if s.Counters["a.b"] != 42 || s.Gauges["g"] != -7 {
+		t.Fatalf("round-trip mismatch: %+v", s)
+	}
+	if s.Histograms["h"].Count != 1 || s.Histograms["h"].Sum != 100 {
+		t.Fatalf("histogram snapshot: %+v", s.Histograms["h"])
+	}
+
+	buf.Reset()
+	if err := r.WriteTrace(&buf); err != nil {
+		t.Fatalf("WriteTrace: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("trace lines = %d, want 1", len(lines))
+	}
+	var ev Event
+	if err := json.Unmarshal([]byte(lines[0]), &ev); err != nil {
+		t.Fatalf("trace line does not parse: %v", err)
+	}
+	if ev.Type != EvPublish || ev.Actor != "n1" || ev.Page != 9 || ev.Seq != 1 {
+		t.Fatalf("trace event round-trip: %+v", ev)
+	}
+}
+
+// TestSamplingIsDeterministic: same seed -> same retained subset; sampling
+// thins the ring but never the checkers.
+func TestSamplingIsDeterministic(t *testing.T) {
+	run := func(seed int64) []uint64 {
+		r := New(Options{RingCapacity: 1024, SampleEvery: 4, SampleSeed: seed})
+		for i := 0; i < 400; i++ {
+			r.Emit(int64(i), EvSharedRead, "n", uint64(i), 0)
+		}
+		var seqs []uint64
+		for _, ev := range r.Events() {
+			seqs = append(seqs, ev.Seq)
+		}
+		return seqs
+	}
+	a, b := run(1), run(1)
+	if len(a) == 0 || len(a) == 400 {
+		t.Fatalf("sampling kept %d of 400 events, want a strict subset", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+
+	// Checkers still see every event: a violation on an unsampled one fires.
+	r := New(Options{RingCapacity: 1024, SampleEvery: 1 << 60, SampleSeed: 3})
+	c := NewFrameLeakChecker()
+	r.AddChecker(c)
+	r.Emit(0, EvFrameUnpin, "pool", 1, 0) // unpin-below-zero
+	if vs := c.Violations(); len(vs) != 1 {
+		t.Fatalf("checker missed an unsampled event: %+v", vs)
+	}
+}

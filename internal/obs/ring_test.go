@@ -1,0 +1,53 @@
+package obs
+
+import "testing"
+
+// TestRingWraparound: the ring keeps exactly the newest `capacity` events,
+// oldest first, across the wrap boundary.
+func TestRingWraparound(t *testing.T) {
+	r := New(Options{RingCapacity: 8})
+	for i := 1; i <= 20; i++ {
+		r.Emit(int64(i), EvSharedRead, "n", uint64(i), 0)
+	}
+	evs := r.Events()
+	if len(evs) != 8 {
+		t.Fatalf("ring holds %d events, want 8", len(evs))
+	}
+	for i, ev := range evs {
+		wantSeq := uint64(13 + i) // seqs 13..20 survive
+		if ev.Seq != wantSeq || ev.Page != wantSeq {
+			t.Fatalf("event %d: seq=%d page=%d, want %d", i, ev.Seq, ev.Page, wantSeq)
+		}
+	}
+}
+
+// TestRingPartialFill: before wrapping, Events returns only what was
+// recorded.
+func TestRingPartialFill(t *testing.T) {
+	r := New(Options{RingCapacity: 16})
+	for i := 1; i <= 5; i++ {
+		r.Emit(0, EvFramePin, "p", uint64(i), 0)
+	}
+	evs := r.Events()
+	if len(evs) != 5 {
+		t.Fatalf("ring holds %d events, want 5", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Seq != uint64(i+1) {
+			t.Fatalf("event %d seq = %d", i, ev.Seq)
+		}
+	}
+}
+
+// TestRingExactBoundary: filling the ring exactly to capacity reports every
+// event in order (the full flag flips with next==0).
+func TestRingExactBoundary(t *testing.T) {
+	r := New(Options{RingCapacity: 4})
+	for i := 1; i <= 4; i++ {
+		r.Emit(0, EvFramePin, "p", uint64(i), 0)
+	}
+	evs := r.Events()
+	if len(evs) != 4 || evs[0].Seq != 1 || evs[3].Seq != 4 {
+		t.Fatalf("boundary fill: %+v", evs)
+	}
+}

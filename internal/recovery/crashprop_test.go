@@ -216,6 +216,7 @@ func TestRecoveryIsRepeatable(t *testing.T) {
 	if err != nil {
 		t.Fatalf("second recovery: %v", err)
 	}
+	checkRedo(t, res2)
 	// Second recovery of an already-clean pool must rebuild nothing...
 	if res2.PagesRebuilt > res1.PagesRebuilt {
 		t.Fatalf("second recovery rebuilt more (%d) than the first (%d)", res2.PagesRebuilt, res1.PagesRebuilt)

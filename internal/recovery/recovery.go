@@ -23,12 +23,14 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"polarcxlmem/internal/btree"
 	"polarcxlmem/internal/buffer"
 	"polarcxlmem/internal/core"
 	"polarcxlmem/internal/cxl"
 	"polarcxlmem/internal/mtr"
+	"polarcxlmem/internal/obs"
 	"polarcxlmem/internal/page"
 	"polarcxlmem/internal/simclock"
 	"polarcxlmem/internal/simcpu"
@@ -43,6 +45,7 @@ import (
 type Result struct {
 	Scheme        string
 	RedoRecords   int   // page records replayed (or consulted)
+	RedoApplied   int   // page records actually applied to an image
 	PagesRebuilt  int   // pages whose image was reconstructed
 	PagesTrusted  int   // PolarRecv: surviving pages used in place
 	PagesDropped  int   // PolarRecv: in-flight pages with no durable history
@@ -59,6 +62,29 @@ type Result struct {
 
 // Nanos reports the recovery duration in virtual nanoseconds.
 func (r Result) Nanos() int64 { return r.DoneNanos - r.StartNanos }
+
+// obsReg is the package-level metrics sink: recovery runs are one-shot
+// passes over freshly built pools, so the registry hangs off the package
+// rather than any single recovered object.
+var obsReg atomic.Pointer[obs.Registry]
+
+// SetObserver registers reg to receive recovery.* counters (redo applied /
+// skipped, pages rebuilt / trusted) and the recovery.warm_pages gauge from
+// every subsequent Recover / PolarRecv call. A nil reg detaches.
+func SetObserver(reg *obs.Registry) { obsReg.Store(reg) }
+
+// recordResult publishes one finished pass's accounting.
+func recordResult(res *Result) {
+	reg := obsReg.Load()
+	if reg == nil {
+		return
+	}
+	reg.Counter("recovery.redo.applied").Add(int64(res.RedoApplied))
+	reg.Counter("recovery.redo.skipped").Add(int64(res.RedoRecords - res.RedoApplied))
+	reg.Counter("recovery.pages.rebuilt").Add(int64(res.PagesRebuilt))
+	reg.Counter("recovery.pages.trusted").Add(int64(res.PagesTrusted))
+	reg.Gauge("recovery.warm_pages").Set(int64(res.WarmPages))
+}
 
 // analysis is the ARIES analysis pass over the durable log.
 type analysis struct {
@@ -194,10 +220,10 @@ func Recover(clk *simclock.Clock, scheme string, pool buffer.Creator, ws *wal.St
 	a := analyze(ws, from)
 	res.RedoRecords = a.records
 	applied, err := redoThroughPool(clk, pool, a)
+	res.RedoApplied = applied
 	if err != nil {
 		return nil, res, err
 	}
-	_ = applied
 	res.PagesRebuilt = len(a.perPage)
 	store.BumpNextID(a.maxPageID)
 	log := wal.Attach(ws)
@@ -211,6 +237,7 @@ func Recover(clk *simclock.Clock, scheme string, pool buffer.Creator, ws *wal.St
 	}
 	res.WarmPages = pool.Resident()
 	res.DoneNanos = clk.Now()
+	recordResult(res)
 	return engine, res, nil
 }
 
@@ -266,6 +293,7 @@ func PolarRecv(clk *simclock.Clock, host *cxl.HostPort, region *simmem.Region, c
 				if err := mtr.Apply(acc, rec); err != nil {
 					return nil, nil, res, fmt.Errorf("polarrecv: redo lsn %d on page %d: %w", rec.LSN, b.PageID, err)
 				}
+				res.RedoApplied++
 			}
 			dirty := len(recs) > 0 || !hasBase
 			if err := pool.RepairPage(clk, b.PageID, img, dirty); err != nil {
@@ -301,5 +329,6 @@ func PolarRecv(clk *simclock.Clock, host *cxl.HostPort, region *simmem.Region, c
 	}
 	res.WarmPages = pool.Resident()
 	res.DoneNanos = clk.Now()
+	recordResult(res)
 	return pool, engine, res, nil
 }

@@ -21,6 +21,16 @@ import (
 
 func val(k int64) []byte { return []byte(fmt.Sprintf("committed-%06d", k)) }
 
+// checkRedo asserts the redo accounting invariant: RedoApplied counts the
+// subset of RedoRecords actually replayed onto an image, so it can never
+// exceed the scan count or go negative.
+func checkRedo(t *testing.T, res *Result) {
+	t.Helper()
+	if res.RedoApplied < 0 || res.RedoApplied > res.RedoRecords {
+		t.Fatalf("RedoApplied = %d outside [0, RedoRecords=%d]", res.RedoApplied, res.RedoRecords)
+	}
+}
+
 // --- CXL rig ---------------------------------------------------------------
 
 type cxlRig struct {
@@ -75,6 +85,7 @@ func (r *cxlRig) crashAndRecover(t *testing.T) (*core.CXLPool, *txn.Engine, *Res
 	if err != nil {
 		t.Fatalf("PolarRecv: %v", err)
 	}
+	checkRedo(t, res)
 	return pool2, eng2, res
 }
 
@@ -385,6 +396,10 @@ func TestVanillaRecovery(t *testing.T) {
 	if res.RedoRecords == 0 || res.PagesRebuilt == 0 {
 		t.Fatalf("vanilla recovery did nothing: %+v", res)
 	}
+	checkRedo(t, res)
+	if res.RedoApplied == 0 {
+		t.Fatalf("vanilla recovery replayed into a cold pool yet applied nothing: %+v", res)
+	}
 	verifyRecovered(t, clk2, e2)
 }
 
@@ -414,7 +429,7 @@ func TestRDMARecoveryUsesSurvivingRemote(t *testing.T) {
 	if pool2.Stats().RemoteReads == 0 {
 		t.Fatal("RDMA recovery never read from the surviving remote tier")
 	}
-	_ = res
+	checkRedo(t, res)
 	verifyRecovered(t, clk2, e2)
 }
 

@@ -172,9 +172,12 @@ func polarRecvSweepRun(plan *fault.Plan) error {
 		return err
 	}
 	cache2 := host2.NewCache("db0", sweepCacheB)
-	pool2, eng2, _, err := PolarRecv(clk2, host2, region2, cache2, ws, store)
+	pool2, eng2, res, err := PolarRecv(clk2, host2, region2, cache2, ws, store)
 	if err != nil {
 		return fmt.Errorf("PolarRecv: %w", err)
+	}
+	if res.RedoApplied < 0 || res.RedoApplied > res.RedoRecords {
+		return fmt.Errorf("RedoApplied = %d outside [0, RedoRecords=%d]", res.RedoApplied, res.RedoRecords)
 	}
 
 	// Invariant 1: the pool's CXL-resident structures are consistent.

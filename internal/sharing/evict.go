@@ -35,6 +35,7 @@ import (
 	"fmt"
 	"sort"
 
+	"polarcxlmem/internal/obs"
 	"polarcxlmem/internal/page"
 	"polarcxlmem/internal/recovery"
 	"polarcxlmem/internal/simclock"
@@ -50,6 +51,10 @@ func (f *Fusion) EvictNode(clk *simclock.Clock, node string) error {
 	f.leases.markDead(node)
 	f.evictMu.Lock()
 	defer f.evictMu.Unlock()
+	o := f.obsState()
+	if o != nil {
+		o.evictions.Inc()
+	}
 
 	f.mu.Lock()
 	ids := make([]uint64, 0, len(f.pages))
@@ -93,7 +98,11 @@ func (f *Fusion) EvictNode(clk *simclock.Clock, node string) error {
 				}
 			}
 		}
-		ps.lk.forceRelease(node)
+		if hit := ps.lk.forceRelease(node); hit || writeHeld {
+			// A reclaim absolves the dead holder: its grants are gone and
+			// any invalidation it owed can never be acked.
+			o.emit(clk.Now(), obs.EvLockReclaim, node, id, 0)
+		}
 		// Deregister: zero the dead node's flag slots, drop it from the
 		// active set. A survivor slot-scan must never see its stale flags.
 		f.mu.Lock()
@@ -161,6 +170,7 @@ func (f *Fusion) reclaimWriteHeld(clk *simclock.Clock, ps *pageState, node strin
 		return err
 	}
 	f.host.TransferWrite(clk, page.Size)
+	o := f.obsState()
 	f.mu.Lock()
 	ps.dirty = dirty
 	for _, other := range sortedNodes(ps.active) {
@@ -171,6 +181,10 @@ func (f *Fusion) reclaimWriteHeld(clk *simclock.Clock, ps *pageState, node strin
 			f.mu.Unlock()
 			return err
 		}
+		if o != nil {
+			o.invalidations.Inc()
+		}
+		o.emit(clk.Now(), obs.EvInvalidSet, other, ps.id, 0)
 	}
 	f.mu.Unlock()
 	return nil

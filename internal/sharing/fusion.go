@@ -27,12 +27,15 @@
 package sharing
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"polarcxlmem/internal/cxl"
 	"polarcxlmem/internal/fault"
+	"polarcxlmem/internal/obs"
 	"polarcxlmem/internal/page"
 	"polarcxlmem/internal/simclock"
 	"polarcxlmem/internal/simmem"
@@ -101,7 +104,56 @@ type Fusion struct {
 	nodeIDs map[string]uint64   // node name -> durable lock-word id (from 1)
 	nodeByI map[uint64]string   // inverse of nodeIDs
 	ws      *wal.Store          // optional redo source for EvictNode; may be nil
+
+	obsP atomic.Pointer[fusionObs] // optional metrics/trace sink; may be empty
 }
+
+// fusionObs carries the sharing layer's registry handles. Nodes reach it
+// through Fusion.obsState so one SetObserver covers the whole cluster's
+// coherency trace.
+type fusionObs struct {
+	reg *obs.Registry
+
+	rpcs, rpcRetries *obs.Counter
+	invalidations    *obs.Counter
+	recycles         *obs.Counter
+	evictions        *obs.Counter
+	lockTimeouts     *obs.Counter
+	lockWait         *obs.Histogram
+}
+
+// emit publishes one trace event; safe on a nil observer.
+func (o *fusionObs) emit(vnanos int64, typ, actor string, pageID uint64, aux int64) {
+	if o != nil {
+		o.reg.Emit(vnanos, typ, actor, pageID, aux)
+	}
+}
+
+// SetObserver registers the fusion server's metrics (sharing.rpcs /
+// rpc_retries / invalidations / recycles / evictions / lock_timeouts
+// counters and the sharing.lock.wait_ns histogram) and starts the coherency
+// trace stream (lock.*, coherency.*) for the server and every attached
+// node. A nil reg detaches.
+func (f *Fusion) SetObserver(reg *obs.Registry) {
+	if reg == nil {
+		f.obsP.Store(nil)
+		return
+	}
+	f.obsP.Store(&fusionObs{
+		reg:           reg,
+		rpcs:          reg.Counter("sharing.rpcs"),
+		rpcRetries:    reg.Counter("sharing.rpc_retries"),
+		invalidations: reg.Counter("sharing.invalidations"),
+		recycles:      reg.Counter("sharing.recycles"),
+		evictions:     reg.Counter("sharing.evictions"),
+		lockTimeouts:  reg.Counter("sharing.lock_timeouts"),
+		lockWait:      reg.Histogram("sharing.lock.wait_ns"),
+	})
+}
+
+// obsState returns the installed observer (nil when detached). Node-side
+// protocol code emits through this so the whole cluster shares one stream.
+func (f *Fusion) obsState() *fusionObs { return f.obsP.Load() }
 
 // NewFusion builds a fusion server over a CXL region, backed by store for
 // page load and recycle write-back. host is the fusion server's own switch
@@ -194,12 +246,19 @@ func (f *Fusion) rpc(clk *simclock.Clock, node string) error {
 	f.rpcSeq++
 	seq := f.rpcSeq
 	f.mu.Unlock()
+	o := f.obsState()
+	if o != nil {
+		o.rpcs.Inc()
+	}
 	attempts := 1
 	if rp != nil && rp.MaxAttempts > 1 {
 		attempts = rp.MaxAttempts
 	}
 	var last error
 	for a := 1; a <= attempts; a++ {
+		if a > 1 && o != nil {
+			o.rpcRetries.Inc()
+		}
 		var err error
 		if inj != nil {
 			err = inj.Point(fault.OpNetSend, rpcMsgBytes)
@@ -368,7 +427,11 @@ func (f *Fusion) unlockWriteClean(clk *simclock.Clock, node string, pageID uint6
 	if err := f.clearLockWord(clk, ps, node); err != nil {
 		return err
 	}
-	return ps.lk.releaseWrite(node)
+	if err := ps.lk.releaseWrite(node); err != nil {
+		return err
+	}
+	f.obsState().emit(clk.Now(), obs.EvLockRelease, node, pageID, 1)
+	return nil
 }
 
 // FlushDirty checkpoints the DBP: every dirty frame is staged out of CXL
@@ -386,10 +449,12 @@ func (f *Fusion) FlushDirty(clk *simclock.Clock, barrier func(*simclock.Clock, u
 	// operation sequence differ run to run, breaking fault-plan replay.
 	sort.Slice(dirty, func(i, j int) bool { return dirty[i].id < dirty[j].id })
 	img := make([]byte, page.Size)
+	o := f.obsState()
 	for _, ps := range dirty {
 		if err := acquirePageLock(clk, ps.lk, nil, f.pol, fusionNode, ps.id, false, nil); err != nil {
 			return err
 		}
+		o.emit(clk.Now(), obs.EvLockGrant, fusionNode, ps.id, 0)
 		err := f.region.ReadRaw(ps.off, img)
 		if err == nil {
 			f.host.TransferRead(clk, page.Size)
@@ -401,8 +466,12 @@ func (f *Fusion) FlushDirty(clk *simclock.Clock, barrier func(*simclock.Clock, u
 		if err == nil {
 			ps.dirty = false
 		}
-		if rerr := ps.lk.releaseRead(fusionNode); rerr != nil && err == nil {
-			err = rerr
+		if rerr := ps.lk.releaseRead(fusionNode); rerr != nil {
+			if err == nil {
+				err = rerr
+			}
+		} else {
+			o.emit(clk.Now(), obs.EvLockRelease, fusionNode, ps.id, 0)
 		}
 		if err != nil {
 			return err
@@ -429,8 +498,16 @@ func (f *Fusion) Lock(clk *simclock.Clock, node string, pageID uint64, write boo
 		return fmt.Errorf("sharing: lock of unknown page %d", pageID)
 	}
 	reclaim := func(clk *simclock.Clock, dead string) error { return f.EvictNode(clk, dead) }
+	o := f.obsState()
+	waitStart := clk.Now()
 	if err := acquirePageLock(clk, ps.lk, f.leases, pol, node, pageID, write, reclaim); err != nil {
+		if o != nil && errors.Is(err, ErrLockTimeout) {
+			o.lockTimeouts.Inc()
+		}
 		return err
+	}
+	if o != nil {
+		o.lockWait.Observe(clk.Now() - waitStart)
 	}
 	if write {
 		if err := f.recordLockWord(clk, ps, node); err != nil {
@@ -438,6 +515,11 @@ func (f *Fusion) Lock(clk *simclock.Clock, node string, pageID uint64, write boo
 			return err
 		}
 	}
+	var aux int64
+	if write {
+		aux = 1
+	}
+	o.emit(clk.Now(), obs.EvLockGrant, node, pageID, aux)
 	return nil
 }
 
@@ -481,7 +563,11 @@ func (f *Fusion) UnlockRead(clk *simclock.Clock, node string, pageID uint64) err
 	if !ok {
 		return fmt.Errorf("sharing: unlock of unknown page %d", pageID)
 	}
-	return ps.lk.releaseRead(node)
+	if err := ps.lk.releaseRead(node); err != nil {
+		return err
+	}
+	f.obsState().emit(clk.Now(), obs.EvLockRelease, node, pageID, 0)
+	return nil
 }
 
 // UnlockWrite releases node's write lock after it flushed its dirty lines,
@@ -491,6 +577,7 @@ func (f *Fusion) UnlockWrite(clk *simclock.Clock, node string, pageID uint64) er
 	if err := f.rpc(clk, node); err != nil {
 		return err
 	}
+	o := f.obsState()
 	f.mu.Lock()
 	ps, ok := f.pages[pageID]
 	if ok {
@@ -504,6 +591,12 @@ func (f *Fusion) UnlockWrite(clk *simclock.Clock, node string, pageID uint64) er
 				f.mu.Unlock()
 				return err
 			}
+			if o != nil {
+				o.invalidations.Inc()
+			}
+			// Actor is the TARGET: from here until that node flushes and
+			// acks, its cached copy of pageID is suspect.
+			o.emit(clk.Now(), obs.EvInvalidSet, other, pageID, 0)
 		}
 	}
 	f.mu.Unlock()
@@ -513,7 +606,11 @@ func (f *Fusion) UnlockWrite(clk *simclock.Clock, node string, pageID uint64) er
 	if err := f.clearLockWord(clk, ps, node); err != nil {
 		return err
 	}
-	return ps.lk.releaseWrite(node)
+	if err := ps.lk.releaseWrite(node); err != nil {
+		return err
+	}
+	o.emit(clk.Now(), obs.EvLockRelease, node, pageID, 1)
+	return nil
 }
 
 // recycleLocked evicts the least-recently-requested unlocked page: flush to
@@ -535,7 +632,12 @@ func (f *Fusion) recycleLocked(clk *simclock.Clock) error {
 	if ok, _, _ := victim.lk.tryAcquire(fusionNode, true, clk.Now()); !ok {
 		return fmt.Errorf("sharing: LRU victim %d is locked", victim.id)
 	}
-	defer victim.lk.releaseWrite(fusionNode)
+	o := f.obsState()
+	o.emit(clk.Now(), obs.EvLockGrant, fusionNode, victim.id, 1)
+	defer func() {
+		victim.lk.releaseWrite(fusionNode)
+		o.emit(clk.Now(), obs.EvLockRelease, fusionNode, victim.id, 1)
+	}()
 	if victim.dirty {
 		img := make([]byte, page.Size)
 		if err := f.region.ReadRaw(victim.off, img); err != nil {
@@ -553,6 +655,9 @@ func (f *Fusion) recycleLocked(clk *simclock.Clock) error {
 	}
 	delete(f.pages, victim.id)
 	f.free = append(f.free, victim.off)
+	if o != nil {
+		o.recycles.Inc()
+	}
 	return nil
 }
 
@@ -594,7 +699,11 @@ func (f *Fusion) unlockWriteHW(clk *simclock.Clock, node string, pageID uint64) 
 	if err := f.clearLockWord(clk, ps, node); err != nil {
 		return err
 	}
-	return ps.lk.releaseWrite(node)
+	if err := ps.lk.releaseWrite(node); err != nil {
+		return err
+	}
+	f.obsState().emit(clk.Now(), obs.EvLockRelease, node, pageID, 1)
+	return nil
 }
 
 // CrashNode declares node dead: its RPCs are rejected from now on, and its

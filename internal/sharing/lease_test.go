@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"polarcxlmem/internal/fault"
+	"polarcxlmem/internal/obs"
 	"polarcxlmem/internal/simclock"
 	"polarcxlmem/internal/simnet"
 )
@@ -191,10 +192,17 @@ func TestLeaseReclaimWithinInterval(t *testing.T) {
 
 // rpcSweepWorkload runs a fixed two-primary record workload and returns the
 // final committed bytes of every page. plan (may be nil) is installed as the
-// fusion injector for the duration.
+// fusion injector for the duration. Every run feeds the full event stream
+// through the default invariant checkers; a run that completes its workload
+// must also be violation-free (stale reads, leaked locks, leaked frames).
 func rpcSweepWorkload(t *testing.T, plan *fault.Plan, rp *simnet.RetryPolicy) ([][]byte, error) {
 	t.Helper()
 	r := newRig(t, 4, 2, 16)
+	reg := obs.New(obs.Options{})
+	for _, c := range obs.DefaultCheckers() {
+		reg.AddChecker(c)
+	}
+	r.fusion.SetObserver(reg)
 	if rp != nil {
 		r.fusion.SetRetryPolicy(rp)
 	}
@@ -221,6 +229,10 @@ func rpcSweepWorkload(t *testing.T, plan *fault.Plan, rp *simnet.RetryPolicy) ([
 			return nil, err
 		}
 		out = append(out, buf)
+	}
+	r.fusion.SetObserver(nil)
+	for _, v := range reg.Finish() {
+		t.Errorf("invariant violation [%s]: %s", v.Checker, v.Detail)
 	}
 	return out, nil
 }

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"sync"
 
+	"polarcxlmem/internal/obs"
 	"polarcxlmem/internal/page"
 	"polarcxlmem/internal/simclock"
 	"polarcxlmem/internal/simcpu"
@@ -177,6 +178,11 @@ func (n *Node) ensurePage(clk *simclock.Clock, pageID uint64) (*pmeta, error) {
 	if err := n.cache.Flush(clk, n.dbp, off, page.Size); err != nil {
 		return nil, err
 	}
+	// The install flush discharges any invalidation this node owed on the
+	// page; Aux carries the lines that survived (nonzero only when the flush
+	// itself was fault-dropped, i.e. the copy is still suspect).
+	resident, _ := n.cache.LinesInRange(n.dbp, off, page.Size)
+	n.fusion.obsState().emit(clk.Now(), obs.EvInvalidAck, n.name, pageID, int64(resident))
 	m = &pmeta{slot: slot, dataOff: off}
 	n.mu.Lock()
 	n.meta[pageID] = m
@@ -187,7 +193,7 @@ func (n *Node) ensurePage(clk *simclock.Clock, pageID uint64) (*pmeta, error) {
 // honourInvalid checks this node's invalid flag under the page lock and, if
 // set, clflushes the page range (invalidating the clean cached lines) and
 // clears the flag. Subsequent reads fetch the writer's lines from CXL.
-func (n *Node) honourInvalid(clk *simclock.Clock, m *pmeta) error {
+func (n *Node) honourInvalid(clk *simclock.Clock, pageID uint64, m *pmeta) error {
 	if n.DisableCoherency {
 		return nil
 	}
@@ -208,6 +214,11 @@ func (n *Node) honourInvalid(clk *simclock.Clock, m *pmeta) error {
 	n.mu.Lock()
 	n.stats.Invalidations++
 	n.mu.Unlock()
+	// Aux = lines still resident after the flush: nonzero means the flush
+	// was dropped and the stale copy survives — the checker keeps the page
+	// suspect in that case.
+	resident, _ := n.cache.LinesInRange(n.dbp, m.dataOff, page.Size)
+	n.fusion.obsState().emit(clk.Now(), obs.EvInvalidAck, n.name, pageID, int64(resident))
 	return nil
 }
 
@@ -222,13 +233,17 @@ func (n *Node) Read(clk *simclock.Clock, pageID uint64, off int64, buf []byte) e
 		return err
 	}
 	defer n.fusion.UnlockRead(clk, n.name, pageID)
-	if err := n.honourInvalid(clk, m); err != nil {
+	if err := n.honourInvalid(clk, pageID, m); err != nil {
 		return err
 	}
 	n.mu.Lock()
 	n.stats.Reads++
 	n.mu.Unlock()
-	return n.cache.Read(clk, n.dbp, m.dataOff+off, buf)
+	if err := n.cache.Read(clk, n.dbp, m.dataOff+off, buf); err != nil {
+		return err
+	}
+	n.fusion.obsState().emit(clk.Now(), obs.EvSharedRead, n.name, pageID, 0)
+	return nil
 }
 
 // Write stores data at off within the shared page under the page's write
@@ -243,7 +258,7 @@ func (n *Node) Write(clk *simclock.Clock, pageID uint64, off int64, data []byte)
 	if err := n.fusion.Lock(clk, n.name, pageID, true); err != nil {
 		return err
 	}
-	if err := n.honourInvalid(clk, m); err != nil {
+	if err := n.honourInvalid(clk, pageID, m); err != nil {
 		n.fusion.UnlockWrite(clk, n.name, pageID)
 		return err
 	}
@@ -259,7 +274,20 @@ func (n *Node) Write(clk *simclock.Clock, pageID uint64, off int64, data []byte)
 		n.fusion.UnlockWrite(clk, n.name, pageID)
 		return err
 	}
+	n.emitPublish(clk, pageID, m)
 	return n.fusion.UnlockWrite(clk, n.name, pageID)
+}
+
+// emitPublish traces a publication clflush. Aux = dirty lines that survived
+// the flush: nonzero means the publication was torn (fault-dropped), so
+// peers that fetch the page may see pre-write bytes.
+func (n *Node) emitPublish(clk *simclock.Clock, pageID uint64, m *pmeta) {
+	o := n.fusion.obsState()
+	if o == nil {
+		return
+	}
+	_, dirty := n.cache.LinesInRange(n.dbp, m.dataOff, page.Size)
+	o.emit(clk.Now(), obs.EvPublish, n.name, pageID, int64(dirty))
 }
 
 // ReadModifyWrite applies fn to len bytes at off under one write lock —
@@ -272,7 +300,7 @@ func (n *Node) ReadModifyWrite(clk *simclock.Clock, pageID uint64, off int64, le
 	if err := n.fusion.Lock(clk, n.name, pageID, true); err != nil {
 		return err
 	}
-	if err := n.honourInvalid(clk, m); err != nil {
+	if err := n.honourInvalid(clk, pageID, m); err != nil {
 		n.fusion.UnlockWrite(clk, n.name, pageID)
 		return err
 	}
@@ -281,6 +309,7 @@ func (n *Node) ReadModifyWrite(clk *simclock.Clock, pageID uint64, off int64, le
 		n.fusion.UnlockWrite(clk, n.name, pageID)
 		return err
 	}
+	n.fusion.obsState().emit(clk.Now(), obs.EvSharedRead, n.name, pageID, 0)
 	fn(buf)
 	if err := n.cache.Write(clk, n.dbp, m.dataOff+off, buf); err != nil {
 		n.fusion.UnlockWrite(clk, n.name, pageID)
@@ -293,5 +322,6 @@ func (n *Node) ReadModifyWrite(clk *simclock.Clock, pageID uint64, off int64, le
 		n.fusion.UnlockWrite(clk, n.name, pageID)
 		return err
 	}
+	n.emitPublish(clk, pageID, m)
 	return n.fusion.UnlockWrite(clk, n.name, pageID)
 }

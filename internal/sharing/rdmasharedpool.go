@@ -8,6 +8,7 @@ import (
 	"polarcxlmem/internal/buffer"
 	"polarcxlmem/internal/cxl"
 	"polarcxlmem/internal/frametab"
+	"polarcxlmem/internal/obs"
 	"polarcxlmem/internal/page"
 	"polarcxlmem/internal/rdma"
 	"polarcxlmem/internal/simclock"
@@ -34,6 +35,7 @@ type RDMASharedPool struct {
 	barrier buffer.FlushBarrier
 	nslots  int
 	crashed atomic.Bool
+	obsReg  atomic.Pointer[obs.Registry] // survives the RejoinPrimary tab rebuild
 }
 
 var (
@@ -82,11 +84,26 @@ func (p *RDMASharedPool) RejoinPrimary(clk *simclock.Clock) error {
 		Store:    &rdmaStore{p: p},
 		NotFound: storage.ErrNotFound,
 	})
+	if reg := p.obsReg.Load(); reg != nil {
+		p.tab.SetObserver(reg, "rdma/"+p.node)
+	}
 	p.fusion.mu.Lock()
 	p.fusion.nodes[p.node] = p
 	p.fusion.mu.Unlock()
 	p.crashed.Store(false)
 	return nil
+}
+
+// SetObserver registers this node's LBP metrics (frametab.rdma/<node>.*)
+// with reg; the registration survives RejoinPrimary's table rebuild. A nil
+// reg detaches.
+func (p *RDMASharedPool) SetObserver(reg *obs.Registry) {
+	p.obsReg.Store(reg)
+	if reg == nil {
+		p.tab.SetObserver(nil, "")
+		return
+	}
+	p.tab.SetObserver(reg, "rdma/"+p.node)
 }
 
 // Crashed reports whether this primary is currently down.

@@ -7,6 +7,7 @@ import (
 
 	"polarcxlmem/internal/buffer"
 	"polarcxlmem/internal/frametab"
+	"polarcxlmem/internal/obs"
 	"polarcxlmem/internal/page"
 	"polarcxlmem/internal/simclock"
 	"polarcxlmem/internal/simcpu"
@@ -58,6 +59,7 @@ type SharedPool struct {
 	barrier buffer.FlushBarrier
 	nslots  int
 	crashed atomic.Bool
+	obsReg  atomic.Pointer[obs.Registry] // survives the RejoinPrimary tab rebuild
 }
 
 var (
@@ -129,8 +131,24 @@ func (p *SharedPool) RejoinPrimary(clk *simclock.Clock) error {
 		Store:    p.sst,
 		NotFound: storage.ErrNotFound,
 	})
+	if reg := p.obsReg.Load(); reg != nil {
+		p.tab.SetObserver(reg, "shared/"+p.node)
+	}
 	p.crashed.Store(false)
 	return nil
+}
+
+// SetObserver registers this node's metadata-table metrics
+// (frametab.shared/<node>.*) with reg; the fusion server's cluster-wide
+// metrics are registered separately via Fusion.SetObserver. The registration
+// survives RejoinPrimary's table rebuild. A nil reg detaches.
+func (p *SharedPool) SetObserver(reg *obs.Registry) {
+	p.obsReg.Store(reg)
+	if reg == nil {
+		p.tab.SetObserver(nil, "")
+		return
+	}
+	p.tab.SetObserver(reg, "shared/"+p.node)
 }
 
 // Crashed reports whether the node is currently down.
@@ -198,6 +216,10 @@ func (s *sharedStore) register(clk *simclock.Clock, pageID uint64, create bool) 
 	if err := p.cache.Flush(clk, p.dbp, off, page.Size); err != nil {
 		return nil, err
 	}
+	// The install flush discharges any invalidation this node owed on the
+	// page (e.g. set while the entry was evicted from the metadata table).
+	resident, _ := p.cache.LinesInRange(p.dbp, off, page.Size)
+	p.fusion.obsState().emit(clk.Now(), obs.EvInvalidAck, p.node, pageID, int64(resident))
 	return &pmeta{slot: slot, dataOff: off}, nil
 }
 
@@ -256,7 +278,7 @@ func (s *sharedStore) Latch(clk *simclock.Clock, id uint64, slot any, write, fre
 	if fresh {
 		return nil
 	}
-	if err := p.honourInvalid(clk, m); err != nil {
+	if err := p.honourInvalid(clk, id, m); err != nil {
 		if write {
 			p.fusion.UnlockWrite(clk, p.node, id)
 		} else {
@@ -269,7 +291,7 @@ func (s *sharedStore) Latch(clk *simclock.Clock, id uint64, slot any, write, fre
 
 // honourInvalid drops possibly-stale cached lines when this node's invalid
 // flag is set. Must run under the page lock.
-func (p *SharedPool) honourInvalid(clk *simclock.Clock, m *pmeta) error {
+func (p *SharedPool) honourInvalid(clk *simclock.Clock, id uint64, m *pmeta) error {
 	fa := p.flagOffsets(m.slot)
 	inv, err := p.fusion.dev.Load64(clk, fa.invalid)
 	if err != nil {
@@ -281,7 +303,14 @@ func (p *SharedPool) honourInvalid(clk *simclock.Clock, m *pmeta) error {
 	if err := p.cache.Flush(clk, p.dbp, m.dataOff, page.Size); err != nil {
 		return err
 	}
-	return p.fusion.dev.Store64(clk, fa.invalid, 0)
+	if err := p.fusion.dev.Store64(clk, fa.invalid, 0); err != nil {
+		return err
+	}
+	// Aux = lines still resident after the flush (nonzero only when the
+	// flush was fault-dropped, leaving the stale copy in place).
+	resident, _ := p.cache.LinesInRange(p.dbp, m.dataOff, page.Size)
+	p.fusion.obsState().emit(clk.Now(), obs.EvInvalidAck, p.node, id, int64(resident))
+	return nil
 }
 
 // Get implements buffer.Pool: the latch is the distributed page lock.
@@ -353,7 +382,11 @@ func (f *sharedFrame) ReadAt(off int, buf []byte) error {
 	if f.released {
 		return fmt.Errorf("sharing: read on released shared frame %d", f.id)
 	}
-	return f.pool.cache.Read(f.clk, f.pool.dbp, f.m.dataOff+int64(off), buf)
+	if err := f.pool.cache.Read(f.clk, f.pool.dbp, f.m.dataOff+int64(off), buf); err != nil {
+		return err
+	}
+	f.pool.fusion.obsState().emit(f.clk.Now(), obs.EvSharedRead, f.pool.node, f.id, 0)
+	return nil
 }
 
 func (f *sharedFrame) WriteAt(off int, data []byte) error {
@@ -381,6 +414,12 @@ func (f *sharedFrame) Release() error {
 		if f.wrote {
 			if err := p.cache.Flush(f.clk, p.dbp, f.m.dataOff, page.Size); err != nil {
 				return err
+			}
+			if o := p.fusion.obsState(); o != nil {
+				// Aux = dirty lines surviving the publication flush (torn
+				// publication when nonzero).
+				_, dirty := p.cache.LinesInRange(p.dbp, f.m.dataOff, page.Size)
+				o.emit(f.clk.Now(), obs.EvPublish, p.node, f.id, int64(dirty))
 			}
 			return p.fusion.UnlockWrite(f.clk, p.node, f.id)
 		}

@@ -104,6 +104,7 @@ type Resource struct {
 	mu       sync.Mutex
 	nextFree int64
 	stats    ResourceStats
+	wait     func(waitNanos int64)
 }
 
 // NewResource returns a Resource named name that serves ratePerSec units per
@@ -148,7 +149,11 @@ func (r *Resource) UseAt(now, units int64) int64 {
 	r.stats.BusyNanos += dur
 	r.stats.QueueNanos += start - now
 	r.stats.LastFree = done
+	wait := r.wait
 	r.mu.Unlock()
+	if wait != nil {
+		wait(start - now)
+	}
 	return done
 }
 
@@ -156,6 +161,17 @@ func (r *Resource) UseAt(now, units int64) int64 {
 // time (queueing delay included).
 func (r *Resource) Use(c *Clock, units int64) {
 	c.AdvanceTo(r.UseAt(c.Now(), units))
+}
+
+// SetWaitObserver installs fn to be called with each request's queueing wait
+// (virtual nanoseconds; zero when the server was idle). Install before the
+// resource sees traffic. fn runs on the requesting goroutine outside the
+// resource's lock and must not call back into the Resource; observability
+// sinks (e.g. an obs.Histogram, which is all-atomic) are the intended use.
+func (r *Resource) SetWaitObserver(fn func(waitNanos int64)) {
+	r.mu.Lock()
+	r.wait = fn
+	r.mu.Unlock()
 }
 
 // Stats returns a snapshot of the resource's counters.

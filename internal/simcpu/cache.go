@@ -386,6 +386,31 @@ func (c *Cache) Drop() {
 	c.unlock()
 }
 
+// LinesInRange reports how many cache lines intersecting [off, off+n) of
+// region are resident, and how many of those are dirty. The sharing
+// protocol's instrumentation uses this to judge publication/invalidation
+// flushes: dirty lines surviving a publish flush mean the write is torn,
+// resident lines surviving an invalidation flush mean the copy is stale.
+func (c *Cache) LinesInRange(region *simmem.Region, off int64, n int) (resident, dirty int) {
+	if n <= 0 {
+		return 0, 0
+	}
+	c.lock()
+	defer c.unlock()
+	dev := region.Device()
+	addr := region.Base() + off
+	first, last := lineRange(addr, n)
+	for la := first; la <= last; la += LineSize {
+		if ln, ok := c.lines[lineKey{dev, la}]; ok {
+			resident++
+			if ln.dirty {
+				dirty++
+			}
+		}
+	}
+	return resident, dirty
+}
+
 // DirtyLines reports how many cached lines are dirty (test/diagnostic hook).
 func (c *Cache) DirtyLines() int {
 	c.lock()

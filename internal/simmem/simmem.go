@@ -22,8 +22,10 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"polarcxlmem/internal/fault"
+	"polarcxlmem/internal/obs"
 	"polarcxlmem/internal/simclock"
 )
 
@@ -67,8 +69,16 @@ type Device struct {
 	mu   sync.RWMutex
 	data []byte
 	prof Profile
-	bw   *simclock.Resource // optional shared bandwidth; may be nil
-	inj  fault.Injector     // optional fault injector; may be nil
+	bw   *simclock.Resource        // optional shared bandwidth; may be nil
+	inj  fault.Injector            // optional fault injector; may be nil
+	obsP atomic.Pointer[deviceObs] // optional metrics sink; may be empty
+}
+
+// deviceObs caches the device's counter handles so the raw-access hot path
+// pays four atomic adds, not four map lookups.
+type deviceObs struct {
+	reads, writes         *obs.Counter
+	readBytes, writeBytes *obs.Counter
 }
 
 // NewDevice allocates a device of size bytes with the given timing profile.
@@ -106,6 +116,24 @@ func (d *Device) injector() fault.Injector {
 	inj := d.inj
 	d.mu.RUnlock()
 	return inj
+}
+
+// SetObserver registers the device's access counters with reg
+// (mem.<name>.reads / writes / read_bytes / write_bytes). Every accessor —
+// costed or raw, including CPU-cache fills and write-backs — funnels through
+// the raw paths, so the counters see all device traffic. A nil reg detaches.
+func (d *Device) SetObserver(reg *obs.Registry) {
+	if reg == nil {
+		d.obsP.Store(nil)
+		return
+	}
+	p := "mem." + d.name + "."
+	d.obsP.Store(&deviceObs{
+		reads:      reg.Counter(p + "reads"),
+		writes:     reg.Counter(p + "writes"),
+		readBytes:  reg.Counter(p + "read_bytes"),
+		writeBytes: reg.Counter(p + "write_bytes"),
+	})
 }
 
 // Region returns a bounds-checked view of [off, off+size).
@@ -174,6 +202,10 @@ func (r *Region) ReadRaw(off int64, buf []byte) error {
 	r.dev.mu.RLock()
 	copy(buf, r.dev.data[r.off+off:])
 	r.dev.mu.RUnlock()
+	if o := r.dev.obsP.Load(); o != nil {
+		o.reads.Inc()
+		o.readBytes.Add(int64(len(buf)))
+	}
 	return nil
 }
 
@@ -193,6 +225,10 @@ func (r *Region) WriteRaw(off int64, data []byte) error {
 	r.dev.mu.Lock()
 	copy(r.dev.data[r.off+off:], data)
 	r.dev.mu.Unlock()
+	if o := r.dev.obsP.Load(); o != nil {
+		o.writes.Inc()
+		o.writeBytes.Add(int64(len(data)))
+	}
 	return nil
 }
 

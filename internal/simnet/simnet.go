@@ -20,8 +20,10 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"polarcxlmem/internal/fault"
+	"polarcxlmem/internal/obs"
 	"polarcxlmem/internal/simclock"
 )
 
@@ -138,6 +140,19 @@ type Fabric struct {
 
 	replies  map[uint64]cachedReply // reply cache by request ID
 	replyLog []uint64               // FIFO eviction order
+
+	obsP atomic.Pointer[fabricObs] // optional metrics sink; may be empty
+}
+
+// fabricObs caches the fabric's metric handles so Call pays atomic adds, not
+// registry map lookups, per RPC.
+type fabricObs struct {
+	calls         *obs.Counter // Call invocations
+	attempts      *obs.Counter // send attempts (>= calls under retries)
+	retries       *obs.Counter // attempts beyond each call's first
+	deadlines     *obs.Counter // calls failed with DeadlineError
+	replyCacheHit *obs.Counter // attempts answered from the reply cache
+	callNanos     *obs.Histogram
 }
 
 // New returns a fabric whose calls cost rttNanos round-trip latency. bw, if
@@ -196,6 +211,24 @@ func (f *Fabric) SetRetryPolicy(rp *RetryPolicy) {
 	f.mu.Unlock()
 }
 
+// SetObserver registers the fabric's RPC metrics with reg (simnet.calls /
+// attempts / retries / deadline_exceeded / replycache_hits counters and the
+// simnet.call_ns virtual-latency histogram). A nil reg detaches.
+func (f *Fabric) SetObserver(reg *obs.Registry) {
+	if reg == nil {
+		f.obsP.Store(nil)
+		return
+	}
+	f.obsP.Store(&fabricObs{
+		calls:         reg.Counter("simnet.calls"),
+		attempts:      reg.Counter("simnet.attempts"),
+		retries:       reg.Counter("simnet.retries"),
+		deadlines:     reg.Counter("simnet.deadline_exceeded"),
+		replyCacheHit: reg.Counter("simnet.replycache_hits"),
+		callNanos:     reg.Histogram("simnet.call_ns"),
+	})
+}
+
 // cacheReply records the reply for reqID so a retried request after a lost
 // reply is answered without re-running the handler.
 func (f *Fabric) cacheReply(reqID uint64, resp any, err error) {
@@ -239,9 +272,20 @@ func (f *Fabric) Call(clk *simclock.Clock, endpoint, method string, reqBytes int
 		}
 	}
 	start := clk.Now()
+	o := f.obsP.Load()
+	if o != nil {
+		o.calls.Inc()
+		defer func() { o.callNanos.Observe(clk.Now() - start) }()
+	}
 	var last error
 	for attempt := 1; attempt <= attempts; attempt++ {
-		resp, herr, ferr := f.attempt(clk, endpoint, method, reqBytes, req, reqID)
+		if o != nil {
+			o.attempts.Inc()
+			if attempt > 1 {
+				o.retries.Inc()
+			}
+		}
+		resp, herr, ferr := f.attempt(clk, endpoint, method, reqBytes, req, reqID, o)
 		if ferr == nil {
 			return resp, herr
 		}
@@ -253,6 +297,9 @@ func (f *Fabric) Call(clk *simclock.Clock, endpoint, method string, reqBytes int
 		}
 		clk.Advance(rp.Backoff(reqID, attempt))
 		if deadline > 0 && clk.Now()-start >= deadline {
+			if o != nil {
+				o.deadlines.Inc()
+			}
 			return nil, &DeadlineError{
 				Endpoint: endpoint, Method: method,
 				Attempts: attempt, Elapsed: clk.Now() - start, Last: last,
@@ -260,6 +307,9 @@ func (f *Fabric) Call(clk *simclock.Clock, endpoint, method string, reqBytes int
 		}
 	}
 	if rp != nil && !fault.IsCrash(last) && !errors.Is(last, ErrNoEndpoint) {
+		if o != nil {
+			o.deadlines.Inc()
+		}
 		return nil, &DeadlineError{
 			Endpoint: endpoint, Method: method,
 			Attempts: attempts, Elapsed: clk.Now() - start, Last: last,
@@ -270,7 +320,7 @@ func (f *Fabric) Call(clk *simclock.Clock, endpoint, method string, reqBytes int
 
 // attempt performs one send/serve/reply round. ferr is the fabric-level
 // (retryable) failure; herr is the handler's own result, never retried.
-func (f *Fabric) attempt(clk *simclock.Clock, endpoint, method string, reqBytes int64, req any, reqID uint64) (resp any, herr, ferr error) {
+func (f *Fabric) attempt(clk *simclock.Clock, endpoint, method string, reqBytes int64, req any, reqID uint64, o *fabricObs) (resp any, herr, ferr error) {
 	f.mu.RLock()
 	ep, ok := f.endpoints[endpoint]
 	var h Handler
@@ -298,6 +348,9 @@ func (f *Fabric) attempt(clk *simclock.Clock, endpoint, method string, reqBytes 
 	// the reply was lost in flight — answer from the reply cache without
 	// re-running the handler.
 	if cached, okc := f.takeCached(reqID); okc {
+		if o != nil {
+			o.replyCacheHit.Inc()
+		}
 		resp, herr = cached.resp, cached.err
 	} else {
 		resp, herr = h(clk, req)
