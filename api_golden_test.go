@@ -1,0 +1,66 @@
+package polarcxlmem
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"polarcxlmem/internal/apidump"
+)
+
+const goldenPath = "api/polarcxlmem.golden"
+
+// TestAPIGolden is the API-compatibility gate: the root package's exported
+// surface must match api/polarcxlmem.golden line for line. An intentional
+// API change regenerates the golden with
+//
+//	UPDATE_API_GOLDEN=1 go test . -run TestAPIGolden
+//
+// and ships the diff in the same commit, where it gets reviewed as the API
+// change it is.
+func TestAPIGolden(t *testing.T) {
+	got, err := apidump.Dump(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if os.Getenv("UPDATE_API_GOLDEN") != "" {
+		if err := os.MkdirAll("api", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("regenerated %s (%d lines)", goldenPath, strings.Count(got, "\n"))
+		return
+	}
+	wantB, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden (run UPDATE_API_GOLDEN=1 go test . -run TestAPIGolden): %v", err)
+	}
+	want := string(wantB)
+	if got == want {
+		return
+	}
+	var diff strings.Builder
+	gotSet, wantSet := lineSet(got), lineSet(want)
+	for _, l := range strings.Split(strings.TrimSuffix(want, "\n"), "\n") {
+		if !gotSet[l] {
+			fmt.Fprintf(&diff, "  - %s\n", l)
+		}
+	}
+	for _, l := range strings.Split(strings.TrimSuffix(got, "\n"), "\n") {
+		if !wantSet[l] {
+			fmt.Fprintf(&diff, "  + %s\n", l)
+		}
+	}
+	t.Fatalf("exported API surface drifted from %s:\n%sif intentional: UPDATE_API_GOLDEN=1 go test . -run TestAPIGolden", goldenPath, diff.String())
+}
+
+func lineSet(s string) map[string]bool {
+	m := make(map[string]bool)
+	for _, l := range strings.Split(strings.TrimSuffix(s, "\n"), "\n") {
+		m[l] = true
+	}
+	return m
+}

@@ -19,7 +19,12 @@ func main() {
 
 	// An instance allocates its buffer pool FROM the CXL memory manager:
 	// pages and metadata both live behind the switch, not in host DRAM.
-	inst, err := cluster.StartInstance("quickstart", 256)
+	// InstanceConfig also exposes the commit pipeline; nil pointers keep the
+	// classic inline path.
+	inst, err := cluster.Start(polarcxlmem.InstanceConfig{
+		Name:      "quickstart",
+		PoolPages: 256,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,153 @@
+// Package apidump renders the exported API surface of a Go package as a
+// sorted, one-line-per-declaration text document — a stdlib-only stand-in
+// for apidiff. CI keeps a golden dump of the root package's surface; any
+// unreviewed export, removal, or signature change fails the gate, so API
+// evolution is always a deliberate diff against api/polarcxlmem.golden.
+package apidump
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Dump parses the non-test Go files of the package in dir and returns its
+// exported surface: one sorted line per func, method, type, exported struct
+// field, interface method, var, and const. Values and function bodies are
+// elided — the dump captures the contract, not the implementation.
+func Dump(dir string) (string, error) {
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", err
+	}
+	var lines []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, 0)
+		if err != nil {
+			return "", fmt.Errorf("apidump: %s: %w", name, err)
+		}
+		for _, decl := range f.Decls {
+			lines = append(lines, declLines(fset, decl)...)
+		}
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n") + "\n", nil
+}
+
+func declLines(fset *token.FileSet, decl ast.Decl) []string {
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() {
+			return nil
+		}
+		if d.Recv != nil && !exportedRecv(d.Recv) {
+			return nil
+		}
+		sig := &ast.FuncDecl{Recv: d.Recv, Name: d.Name, Type: d.Type}
+		return []string{nodeString(fset, sig)}
+	case *ast.GenDecl:
+		var out []string
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				out = append(out, typeLines(fset, s)...)
+			case *ast.ValueSpec:
+				kw := "var"
+				if d.Tok == token.CONST {
+					kw = "const"
+				}
+				for _, n := range s.Names {
+					if !n.IsExported() {
+						continue
+					}
+					line := kw + " " + n.Name
+					if s.Type != nil {
+						line += " " + nodeString(fset, s.Type)
+					}
+					out = append(out, line)
+				}
+			}
+		}
+		return out
+	}
+	return nil
+}
+
+// typeLines expands an exported type: structs and interfaces get one line
+// per exported member so a field addition shows up as an added line, not a
+// rewrite of one giant line.
+func typeLines(fset *token.FileSet, s *ast.TypeSpec) []string {
+	if !s.Name.IsExported() {
+		return nil
+	}
+	switch t := s.Type.(type) {
+	case *ast.StructType:
+		out := []string{"type " + s.Name.Name + " struct"}
+		for _, f := range t.Fields.List {
+			ft := nodeString(fset, f.Type)
+			if len(f.Names) == 0 { // embedded
+				out = append(out, s.Name.Name+"."+ft+" (embedded)")
+				continue
+			}
+			for _, n := range f.Names {
+				if n.IsExported() {
+					out = append(out, s.Name.Name+"."+n.Name+" "+ft)
+				}
+			}
+		}
+		return out
+	case *ast.InterfaceType:
+		out := []string{"type " + s.Name.Name + " interface"}
+		for _, m := range t.Methods.List {
+			mt := nodeString(fset, m.Type)
+			if len(m.Names) == 0 { // embedded interface
+				out = append(out, s.Name.Name+"."+mt+" (embedded)")
+				continue
+			}
+			for _, n := range m.Names {
+				if n.IsExported() {
+					out = append(out, s.Name.Name+"."+n.Name+" "+mt)
+				}
+			}
+		}
+		return out
+	default:
+		return []string{"type " + s.Name.Name + " " + nodeString(fset, s.Type)}
+	}
+}
+
+func exportedRecv(recv *ast.FieldList) bool {
+	if len(recv.List) == 0 {
+		return false
+	}
+	t := recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if idx, ok := t.(*ast.IndexExpr); ok { // generic receiver
+		t = idx.X
+	}
+	id, ok := t.(*ast.Ident)
+	return ok && id.IsExported()
+}
+
+// nodeString prints an AST node and collapses it to one whitespace-
+// normalized line, so formatting churn never shows up as an API change.
+func nodeString(fset *token.FileSet, n ast.Node) string {
+	var b strings.Builder
+	if err := printer.Fprint(&b, fset, n); err != nil {
+		return fmt.Sprintf("<print error: %v>", err)
+	}
+	return strings.Join(strings.Fields(b.String()), " ")
+}

@@ -1,0 +1,98 @@
+package apidump
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sample = `package sample
+
+import "errors"
+
+// Exported doc.
+var ErrBoom = errors.New("boom")
+
+var hidden = 1
+
+const MaxThings = 8
+
+type Widget struct {
+	Name  string
+	count int
+	Inner
+}
+
+type Inner struct{ X int }
+
+type Doer interface {
+	Do(n int) error
+	secret()
+}
+
+type alias = int
+
+func New(name string) (*Widget, error) { return nil, nil }
+
+func (w *Widget) Grow(by int,
+	twice bool) {
+}
+
+func (w *Widget) shrink() {}
+
+func internalOnly() {}
+`
+
+func TestDumpExportedSurface(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "sample.go"), []byte(sample), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Test files must not contribute to the surface.
+	if err := os.WriteFile(filepath.Join(dir, "sample_test.go"),
+		[]byte("package sample\n\nfunc TestExportedButIgnored() {}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := Dump(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"var ErrBoom",
+		"const MaxThings",
+		"type Widget struct",
+		"Widget.Name string",
+		"Widget.Inner (embedded)",
+		"type Doer interface",
+		"Doer.Do func(n int) error",
+		"func New(name string) (*Widget, error)",
+		"func (w *Widget) Grow(by int, twice bool)", // multi-line sig collapsed
+	}
+	for _, w := range want {
+		if !strings.Contains(got, w+"\n") {
+			t.Errorf("dump missing line %q\n--- dump ---\n%s", w, got)
+		}
+	}
+	for _, absent := range []string{"hidden", "count", "secret", "shrink", "internalOnly", "Ignored", "boom"} {
+		if strings.Contains(got, absent) {
+			t.Errorf("dump leaked non-API token %q\n--- dump ---\n%s", absent, got)
+		}
+	}
+
+	// Deterministic: two dumps are byte-identical and sorted.
+	again, err := Dump(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != again {
+		t.Fatal("Dump is not deterministic")
+	}
+	lines := strings.Split(strings.TrimSuffix(got, "\n"), "\n")
+	for i := 1; i < len(lines); i++ {
+		if lines[i-1] > lines[i] {
+			t.Fatalf("dump not sorted at line %d: %q > %q", i, lines[i-1], lines[i])
+		}
+	}
+}

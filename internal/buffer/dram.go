@@ -78,6 +78,22 @@ func (s *dramStore) Evict(clk *simclock.Clock, id uint64, slot any, dirty bool) 
 	return nil
 }
 
+// Writeback implements frametab.WritebackStore: persist one dirty page in
+// place (the background flusher's path), with the same barrier-then-write
+// order as Evict and FlushAll.
+func (s *dramStore) Writeback(clk *simclock.Clock, id uint64, slot any) error {
+	p := s.pool
+	img := slot.([]byte)
+	if p.barrier != nil {
+		p.barrier(clk, page.RawLSN(img))
+	}
+	if err := p.store.WritePage(clk, id, img); err != nil {
+		return err
+	}
+	p.tab.Counters.StorageWrites.Add(1)
+	return nil
+}
+
 // SetFlushBarrier implements Pool.
 func (p *DRAMPool) SetFlushBarrier(fb FlushBarrier) { p.barrier = fb }
 
@@ -145,6 +161,15 @@ func (p *DRAMPool) FlushAll(clk *simclock.Clock) error {
 	}
 	return nil
 }
+
+// FlushBatch writes back up to max dirty pages without evicting them
+// (flusher.Target).
+func (p *DRAMPool) FlushBatch(clk *simclock.Clock, max int) (int, error) {
+	return p.tab.FlushBatch(clk, max)
+}
+
+// DirtyResident counts resident dirty pages (flusher.Target).
+func (p *DRAMPool) DirtyResident() int { return p.tab.DirtyResident() }
 
 // boundFrame binds a frametab frame holding a []byte image to a worker
 // clock and latch mode (shared by DRAMPool and TieredPool).

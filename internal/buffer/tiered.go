@@ -145,6 +145,28 @@ func (s *tieredStore) Evict(clk *simclock.Clock, id uint64, slot any, dirty bool
 	return p.remote.Write(clk, p.nic, id, img)
 }
 
+// Writeback implements frametab.WritebackStore: persist one dirty LBP page
+// to storage and refresh its remote copy in place (the background flusher's
+// path), mirroring FlushAll's local-pass order — barrier, storage write,
+// remote write, remote-dirty clear.
+func (s *tieredStore) Writeback(clk *simclock.Clock, id uint64, slot any) error {
+	p := s.pool
+	img := slot.([]byte)
+	if p.barrier != nil {
+		p.barrier(clk, page.RawLSN(img))
+	}
+	if err := p.store.WritePage(clk, id, img); err != nil {
+		return err
+	}
+	if err := p.remote.Write(clk, p.nic, id, img); err != nil {
+		return err
+	}
+	s.remoteDirtySet(id, false)
+	p.tab.Counters.StorageWrites.Add(1)
+	p.tab.Counters.RemoteWrites.Add(1)
+	return nil
+}
+
 // SetFlushBarrier implements Pool.
 func (p *TieredPool) SetFlushBarrier(fb FlushBarrier) { p.barrier = fb }
 
@@ -167,6 +189,17 @@ func (p *TieredPool) Remote() *RemoteMemory { return p.remote }
 
 // NIC exposes the pool's NIC for bandwidth reporting.
 func (p *TieredPool) NIC() *rdma.NIC { return p.nic }
+
+// FlushBatch writes back up to max dirty LBP pages without evicting them
+// (flusher.Target). Remote-only dirty pages are the checkpoint's business;
+// the flusher trims the local dirty set, which is what grows the redo
+// fraction between checkpoints.
+func (p *TieredPool) FlushBatch(clk *simclock.Clock, max int) (int, error) {
+	return p.tab.FlushBatch(clk, max)
+}
+
+// DirtyResident counts resident dirty LBP pages (flusher.Target).
+func (p *TieredPool) DirtyResident() int { return p.tab.DirtyResident() }
 
 // Get implements Pool.
 func (p *TieredPool) Get(clk *simclock.Clock, id uint64, mode Mode) (Frame, error) {

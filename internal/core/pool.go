@@ -460,6 +460,36 @@ func (s *cxlStore) WriteLatched(clk *simclock.Clock, id uint64, slot any) error 
 	return s.p.step("write-locked")
 }
 
+// Writeback implements frametab.WritebackStore: persist one dirty resident
+// page without evicting it (the background flusher's path). The device
+// operation sequence — cache flush, staging read, barrier, storage write,
+// flags word — is exactly FlushAll's per-page sequence, so crash-point fault
+// plans see the same op points whether a page reaches storage through a
+// checkpoint or the flusher. No cst.mu: the frame is pinned (eviction cannot
+// take the block) and read-latched (writers are excluded), and no list
+// pointers move.
+func (s *cxlStore) Writeback(clk *simclock.Clock, id uint64, slot any) error {
+	p := s.p
+	idx := slot.(int64)
+	if err := p.cache.Flush(clk, p.dataRegion(idx), 0, page.Size); err != nil {
+		return err
+	}
+	img := make([]byte, page.Size)
+	if err := p.rawImage(idx, img); err != nil {
+		return err
+	}
+	p.host.TransferRead(clk, page.Size)
+	if p.barrier != nil {
+		p.barrier(clk, page.RawLSN(img))
+	}
+	if err := p.store.WritePage(clk, id, img); err != nil {
+		return err
+	}
+	p.metaStore(clk, idx, mFlags, flagInUse)
+	p.tab.Counters.StorageWrites.Add(1)
+	return nil
+}
+
 // --- buffer.Pool ------------------------------------------------------------
 
 // Get implements buffer.Pool.
@@ -517,6 +547,15 @@ func (p *CXLPool) FlushAll(clk *simclock.Clock) error {
 	}
 	return nil
 }
+
+// FlushBatch writes back up to max dirty pages without evicting them
+// (flusher.Target).
+func (p *CXLPool) FlushBatch(clk *simclock.Clock, max int) (int, error) {
+	return p.tab.FlushBatch(clk, max)
+}
+
+// DirtyResident counts resident dirty pages (flusher.Target).
+func (p *CXLPool) DirtyResident() int { return p.tab.DirtyResident() }
 
 // Crash simulates a host failure: the CPU cache is lost (dirty unflushed
 // lines and all), every in-DRAM structure is dropped. The CXL region — the

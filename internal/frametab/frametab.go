@@ -167,6 +167,23 @@ type Latcher interface {
 	Latch(clk *simclock.Clock, id uint64, slot any, write, fresh bool) error
 }
 
+// WritebackStore lets a background flusher persist one dirty resident page
+// without evicting it. Writeback runs with the frame pinned and read-latched
+// (readers may proceed, writers are excluded), and must issue the same
+// device-operation sequence the store's checkpoint flush uses, so crash-point
+// fault plans hit the identical op points whether a page is written back by
+// the flusher daemon or by FlushAll. On success the table clears the frame's
+// dirty bit.
+type WritebackStore interface {
+	Writeback(clk *simclock.Clock, id uint64, slot any) error
+}
+
+// ErrNoWriteback is returned by FlushBatch when the backing store does not
+// implement WritebackStore, or the table runs a Latcher (a distributed page
+// lock cannot be taken under a shard mutex pin, so background writeback is
+// not supported for shared pools).
+var ErrNoWriteback = errors.New("frametab: store does not support background writeback")
+
 // Config configures a Table.
 type Config struct {
 	// Shards is the index shard count (rounded up to a power of two);
@@ -272,14 +289,15 @@ type Table struct {
 	// fields (StorageReads, RemoteWrites, ...) directly.
 	Counters Counters
 
-	store    FrameStore
-	evictor  EvictStore
-	toucher  Toucher
-	wlatched WriteLatchNotifier
-	reval    Revalidator
-	latcher  Latcher
-	notFound error
-	capacity int
+	store     FrameStore
+	evictor   EvictStore
+	toucher   Toucher
+	wlatched  WriteLatchNotifier
+	reval     Revalidator
+	latcher   Latcher
+	writeback WritebackStore
+	notFound  error
+	capacity  int
 
 	shards []shard
 	mask   uint64
@@ -336,6 +354,7 @@ func New(cfg Config) *Table {
 	t.wlatched, _ = cfg.Store.(WriteLatchNotifier)
 	t.reval, _ = cfg.Store.(Revalidator)
 	t.latcher, _ = cfg.Store.(Latcher)
+	t.writeback, _ = cfg.Store.(WritebackStore)
 	if t.capacity > 0 && t.evictor == nil {
 		panic("frametab: Capacity > 0 requires the store to implement EvictStore")
 	}
@@ -428,6 +447,83 @@ func (t *Table) Unpin(f *Frame) {
 	if o := t.obsP.Load(); o != nil {
 		o.emit(0, obs.EvFrameUnpin, f.id, 0)
 	}
+}
+
+// pin takes a pin on f if it is still the registered frame for its page
+// (background writeback must not pin a frame that eviction or retirement
+// already detached — the store may have recycled its slot). Pins increment
+// only under the shard mutex; see the pins field comment.
+func (t *Table) pin(f *Frame) bool {
+	sh := t.shardOf(f.id)
+	sh.mu.Lock()
+	if sh.frames[f.id] != f {
+		sh.mu.Unlock()
+		return false
+	}
+	f.pins.Add(1)
+	sh.mu.Unlock()
+	if o := t.obsP.Load(); o != nil {
+		o.emit(0, obs.EvFramePin, f.id, 0)
+	}
+	return true
+}
+
+// DirtyResident counts resident frames whose image diverges from durable
+// storage — the flusher daemon's backlog signal.
+func (t *Table) DirtyResident() int {
+	n := 0
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		for _, f := range sh.frames {
+			if f.ready.Load() && f.dirty.Load() {
+				n++
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// FlushBatch writes back up to max dirty resident pages through the
+// WritebackStore in canonical (ascending page id) order, clearing each
+// frame's dirty bit on success, and reports how many pages were flushed.
+// Each page is pinned and read-latched for the duration of its write, so
+// concurrent readers proceed while writers wait — the background flusher's
+// whole point is that eviction and commit no longer stall on these writes.
+// A Writeback error stops the batch and is returned (under fault injection
+// that error is a simulated host crash; the sweep harness abandons the pool
+// wholesale).
+func (t *Table) FlushBatch(clk *simclock.Clock, max int) (int, error) {
+	if t.writeback == nil || t.latcher != nil {
+		return 0, ErrNoWriteback
+	}
+	flushed := 0
+	for _, f := range t.Snapshot(true) {
+		if flushed >= max {
+			break
+		}
+		if !t.pin(f) {
+			continue // evicted or retired between snapshot and pin
+		}
+		f.Lock(Read)
+		if !f.dirty.Load() { // raced with FlushAll or another batch
+			f.Unlock(Read)
+			t.Unpin(f)
+			continue
+		}
+		err := t.writeback.Writeback(clk, f.id, f.slot)
+		if err == nil {
+			f.ClearDirty()
+			flushed++
+		}
+		f.Unlock(Read)
+		t.Unpin(f)
+		if err != nil {
+			return flushed, err
+		}
+	}
+	return flushed, nil
 }
 
 // unhit unpins a frame whose load failed under a waiting getter and

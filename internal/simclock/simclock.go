@@ -163,6 +163,44 @@ func (r *Resource) Use(c *Clock, units int64) {
 	c.AdvanceTo(r.UseAt(c.Now(), units))
 }
 
+// OccupyAt queues a fixed-duration occupancy of the server (a device-side
+// fsync, a fixed per-request setup phase) starting no earlier than virtual
+// time now, and returns the virtual completion time. It differs from UseAt
+// only in that the service time is given directly instead of derived from a
+// unit count, and no units are accounted — Stats.Units keeps meaning
+// "payload served". Concurrent occupancies serialize FIFO exactly like unit
+// service; that is the point: a log device runs one fsync at a time, so
+// concurrent per-transaction flushes queue behind each other in virtual time
+// even though their payload bytes are tiny.
+func (r *Resource) OccupyAt(now, nanos int64) int64 {
+	if nanos <= 0 {
+		return now
+	}
+	r.mu.Lock()
+	start := now
+	if r.nextFree > start {
+		start = r.nextFree
+	}
+	done := start + nanos
+	r.nextFree = done
+	r.stats.Requests++
+	r.stats.BusyNanos += nanos
+	r.stats.QueueNanos += start - now
+	r.stats.LastFree = done
+	wait := r.wait
+	r.mu.Unlock()
+	if wait != nil {
+		wait(start - now)
+	}
+	return done
+}
+
+// Occupy charges a fixed-duration occupancy to clock c, advancing c to the
+// completion time (queueing delay included).
+func (r *Resource) Occupy(c *Clock, nanos int64) {
+	c.AdvanceTo(r.OccupyAt(c.Now(), nanos))
+}
+
 // SetWaitObserver installs fn to be called with each request's queueing wait
 // (virtual nanoseconds; zero when the server was idle). Install before the
 // resource sees traffic. fn runs on the requesting goroutine outside the

@@ -11,9 +11,11 @@ import (
 	"fmt"
 	"hash/fnv"
 	"sync"
+	"sync/atomic"
 
 	"polarcxlmem/internal/btree"
 	"polarcxlmem/internal/buffer"
+	"polarcxlmem/internal/flusher"
 	"polarcxlmem/internal/mtr"
 	"polarcxlmem/internal/simclock"
 	"polarcxlmem/internal/storage"
@@ -33,6 +35,11 @@ type Engine struct {
 	ids   *mtr.IDGen
 
 	catalog *btree.Tree
+
+	// Commit pipeline (both opt-in; nil means the classic inline path, which
+	// the deterministic fault sweeps depend on staying byte-identical).
+	gc atomic.Pointer[wal.GroupCommitter]
+	fl atomic.Pointer[flusher.Flusher]
 
 	mu     sync.Mutex
 	tables map[string]*btree.Tree
@@ -101,6 +108,63 @@ func (e *Engine) Pool() buffer.Pool { return e.pool }
 
 // Log exposes the engine's redo log handle.
 func (e *Engine) Log() *wal.Log { return e.log }
+
+// EnableGroupCommit routes transaction commit markers through a
+// wal.GroupCommitter so concurrent committers share leader-driven log
+// flushes instead of paying one device fsync each. Single-threaded callers
+// see one flush per commit, exactly as before. Call once at setup, before
+// transactions run.
+func (e *Engine) EnableGroupCommit(pol wal.GroupPolicy) *wal.GroupCommitter {
+	gc := wal.NewGroupCommitter(e.log, pol)
+	e.gc.Store(gc)
+	return gc
+}
+
+// GroupCommitter reports the engine's group committer, or nil when commits
+// flush inline.
+func (e *Engine) GroupCommitter() *wal.GroupCommitter { return e.gc.Load() }
+
+// EnableBackgroundFlush attaches a dirty-page flusher daemon driven from the
+// commit path: each commit ticks it, and when the virtual-time interval has
+// elapsed it writes back a redo-budget-sized batch of dirty pages. Requires
+// a pool with background-writeback support (every frametab-backed pool whose
+// store implements frametab.WritebackStore); pools without it — the shared
+// multi-primary pools — return an error. Call once at setup.
+func (e *Engine) EnableBackgroundFlush(pol flusher.Policy) (*flusher.Flusher, error) {
+	tgt, ok := e.pool.(flusher.Target)
+	if !ok {
+		return nil, fmt.Errorf("txn: pool %T does not support background flush", e.pool)
+	}
+	st := e.log.Store()
+	fl := flusher.New(tgt, pol, func() int64 { return st.BytesFrom(st.CheckpointLSN() + 1) })
+	e.fl.Store(fl)
+	return fl, nil
+}
+
+// Flusher reports the engine's background flusher, or nil when eviction
+// writes happen inline only.
+func (e *Engine) Flusher() *flusher.Flusher { return e.fl.Load() }
+
+// commitUnit makes unit durable: tick the background flusher (if enabled),
+// then append the commit marker and force it — through the group committer
+// when enabled, else inline. The flusher tick runs BEFORE the marker append
+// on purpose: if an injected crash fires during background writeback, the
+// unit is still uncommitted, so crash-sweep shadow accounting stays exact.
+func (e *Engine) commitUnit(clk *simclock.Clock, unit uint64) error {
+	if fl := e.fl.Load(); fl != nil {
+		if err := fl.Tick(clk); err != nil {
+			return fmt.Errorf("txn: background flush before commit of unit %d: %w", unit, err)
+		}
+	}
+	rec := wal.Record{Kind: wal.KTxnCommit, Txn: unit}
+	if gc := e.gc.Load(); gc != nil {
+		gc.Commit(clk, rec)
+		return nil
+	}
+	e.log.Append(rec)
+	e.log.Flush(clk)
+	return nil
+}
 
 // CreateTable creates a named table and registers it in the catalog,
 // durably.

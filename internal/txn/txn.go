@@ -92,16 +92,15 @@ func (t *Txn) Scan(tr *btree.Tree, from int64, limit int) ([]btree.KV, error) {
 	return tr.Scan(t.clk, from, limit)
 }
 
-// Commit appends the durable commit marker and forces the log (group
-// commit).
+// Commit appends the durable commit marker and forces the log — through the
+// engine's group committer when one is enabled (concurrent committers then
+// share a single leader-driven flush), inline otherwise.
 func (t *Txn) Commit() error {
 	if err := t.active(); err != nil {
 		return err
 	}
 	t.done = true
-	t.e.log.Append(wal.Record{Kind: wal.KTxnCommit, Txn: t.id})
-	t.e.log.Flush(t.clk)
-	return nil
+	return t.e.commitUnit(t.clk, t.id)
 }
 
 // Rollback undoes every statement in reverse order via logical compensation
@@ -116,7 +115,5 @@ func (t *Txn) Rollback() error {
 			return fmt.Errorf("txn %d: undo step %d: %w", t.id, i, err)
 		}
 	}
-	t.e.log.Append(wal.Record{Kind: wal.KTxnCommit, Txn: t.id})
-	t.e.log.Flush(t.clk)
-	return nil
+	return t.e.commitUnit(t.clk, t.id)
 }

@@ -109,7 +109,11 @@ func NewStore(bandwidth float64, fsyncNanos int64) *Store {
 	return &Store{bw: simclock.NewResource("wal-dev", bandwidth), fsync: fsyncNanos}
 }
 
-// persist appends recs (ascending LSN) durably, charging clk.
+// persist appends recs (ascending LSN) durably, charging clk. The fsync
+// occupies the log DEVICE, not just the caller: concurrent flushes serialize
+// on the device queue in virtual time, which is the per-commit IOPS wall
+// that group commit exists to amortize. A lone caller pays exactly the old
+// fsync-then-bytes cost.
 func (s *Store) persist(clk *simclock.Clock, recs []Record) {
 	if len(recs) == 0 {
 		return
@@ -118,7 +122,7 @@ func (s *Store) persist(clk *simclock.Clock, recs []Record) {
 	for _, r := range recs {
 		bytes += r.EncodedSize()
 	}
-	clk.Advance(s.fsync)
+	s.bw.Occupy(clk, s.fsync)
 	s.bw.Use(clk, bytes)
 	s.mu.Lock()
 	s.records = append(s.records, recs...)
@@ -193,12 +197,26 @@ func (s *Store) Device() *simclock.Resource { return s.bw }
 // Log is the host-side redo log handle: an in-DRAM buffer of records not
 // yet flushed. Dropping the Log without Flush models losing the redo buffer
 // in a crash.
+//
+// Concurrency contract: Append and Flush are safe for concurrent committers.
+// Append assigns LSNs under mu; Flush holds flushMu across the whole
+// snapshot-and-persist step, so two concurrent flushes cannot hand the store
+// overlapping or out-of-order record batches — each flush persists a strict
+// LSN-contiguous extension of the previous one, keeping Store.records sorted
+// (Iterate binary-searches it) and DurableLSN truthful. Records appended
+// while a flush is in flight simply ride the next flush.
 type Log struct {
 	store *Store
 
-	mu      sync.Mutex
+	mu      sync.Mutex // guards buf and nextLSN (the Append path)
 	buf     []Record
 	nextLSN uint64
+
+	// flushMu serializes Flush end to end. Without it, goroutine A could
+	// snapshot LSNs 1..3, goroutine B snapshot 4..5, and B's persist could
+	// land first — leaving the durable tail unsorted and DurableLSN claiming
+	// 1..3 are durable while they are still in flight.
+	flushMu sync.Mutex
 }
 
 // Attach opens a Log over store, continuing the LSN sequence after the
@@ -237,8 +255,10 @@ func (l *Log) BufferedBytes() int64 {
 }
 
 // Flush group-commits every buffered record to the durable store, charging
-// clk for the write.
+// clk for the write. Safe for concurrent callers; see the Log contract.
 func (l *Log) Flush(clk *simclock.Clock) {
+	l.flushMu.Lock()
+	defer l.flushMu.Unlock()
 	l.mu.Lock()
 	recs := l.buf
 	l.buf = nil

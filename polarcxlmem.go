@@ -21,8 +21,15 @@
 //
 // # Quick start
 //
-//	cluster, _ := polarcxlmem.NewCluster(polarcxlmem.ClusterConfig{PoolPages: 1024})
-//	inst, _ := cluster.StartInstance("db0", 512)
+//	reg := obs.New(obs.Options{})
+//	cluster, _ := polarcxlmem.NewCluster(
+//		polarcxlmem.ClusterConfig{PoolPages: 1024},
+//		polarcxlmem.WithObserver(reg))
+//	inst, _ := cluster.Start(polarcxlmem.InstanceConfig{
+//		Name:        "db0",
+//		PoolPages:   512,
+//		GroupCommit: &wal.GroupPolicy{}, // batch concurrent commits
+//	})
 //	tbl, _ := inst.CreateTable("accounts")
 //	tx := inst.Begin()
 //	tx.Insert(tbl, 1, []byte("alice: 100"))
@@ -30,20 +37,77 @@
 //	inst.Crash()                       // host dies; CXL memory survives
 //	inst2, rec, _ := cluster.Recover("db0")
 //	fmt.Println(rec.PagesTrusted)      // buffer pool reused in place
+//	fmt.Println(reg.Snapshot().Counters["frametab.cxl.hits"])
+//
+// Failures are reported through typed sentinels — ErrNoCapacity,
+// ErrInstanceExists, ErrUnknownInstance, ErrCrashed, ErrNotCrashed — always
+// wrapped, so callers branch with errors.Is. See docs/commit-pipeline.md for
+// the group-commit and background-flush knobs.
 package polarcxlmem
 
 import (
+	"errors"
 	"fmt"
 
 	"polarcxlmem/internal/btree"
 	"polarcxlmem/internal/core"
 	"polarcxlmem/internal/cxl"
+	"polarcxlmem/internal/fault"
+	"polarcxlmem/internal/flusher"
+	"polarcxlmem/internal/obs"
 	"polarcxlmem/internal/recovery"
 	"polarcxlmem/internal/simclock"
 	"polarcxlmem/internal/storage"
 	"polarcxlmem/internal/txn"
 	"polarcxlmem/internal/wal"
 )
+
+// Typed failure sentinels. Every facade error path wraps exactly one of
+// these (with instance names and sizes in the wrapping message), so callers
+// dispatch with errors.Is instead of matching strings.
+var (
+	// ErrNoCapacity: no switch domain has enough unallocated CXL memory for
+	// the requested buffer pool.
+	ErrNoCapacity = errors.New("polarcxlmem: no pool has enough free capacity")
+	// ErrInstanceExists: the instance name is already taken on this cluster.
+	ErrInstanceExists = errors.New("polarcxlmem: instance already exists")
+	// ErrUnknownInstance: no instance with that name was ever started here.
+	ErrUnknownInstance = errors.New("polarcxlmem: unknown instance")
+	// ErrCrashed: the instance handle crashed; call Cluster.Recover to get a
+	// fresh handle over the surviving CXL state.
+	ErrCrashed = errors.New("polarcxlmem: instance has crashed")
+	// ErrNotCrashed: Recover was called on a live instance.
+	ErrNotCrashed = errors.New("polarcxlmem: instance has not crashed")
+)
+
+// ErrKeyNotFound is re-exported for callers.
+var ErrKeyNotFound = btree.ErrKeyNotFound
+
+// Option configures cluster construction (NewCluster, NewSharingCluster).
+type Option func(*clusterOptions)
+
+type clusterOptions struct {
+	reg *obs.Registry
+	inj fault.Injector
+}
+
+// WithObserver threads an observability registry through every substrate
+// the cluster builds: switch fabric and host links, the pooled memory
+// device, buffer-pool frame tables, the group committer and background
+// flusher of every instance started with those enabled, and the PolarRecv
+// recovery pipeline. One registry sees the whole deployment.
+func WithObserver(reg *obs.Registry) Option {
+	return func(o *clusterOptions) { o.reg = reg }
+}
+
+// WithInjector installs a fault injector on every switch domain at
+// construction — both the attach/detach RPC points and the pooled memory
+// device itself — so deployment-level chaos and crash-point sweeps can be
+// wired without reaching into internals. The injector sees setup traffic
+// too; arm it (fault.Plan style) when the window of interest starts.
+func WithInjector(inj fault.Injector) Option {
+	return func(o *clusterOptions) { o.inj = inj }
+}
 
 // ClusterConfig sizes a CXL cluster.
 type ClusterConfig struct {
@@ -57,6 +121,27 @@ type ClusterConfig struct {
 	Storage storage.Config
 }
 
+// InstanceConfig describes one database instance. Name and PoolPages are
+// required; everything else defaults to the classic inline pipeline.
+type InstanceConfig struct {
+	// Name identifies the instance on its cluster (unique).
+	Name string
+	// PoolPages sizes the CXL buffer pool in 16 KB blocks.
+	PoolPages int64
+	// CacheBytes sizes the host-side CPU cache model (default 8 MiB).
+	CacheBytes int64
+	// GroupCommit, when non-nil, routes commit markers through a group
+	// committer with this policy (zero value = defaults). Concurrent
+	// committers share fsyncs; a lone committer behaves exactly like the
+	// inline path.
+	GroupCommit *wal.GroupPolicy
+	// BackgroundFlush, when non-nil, enables the background dirty-page
+	// flusher with this policy (zero value = defaults): eviction stops
+	// paying inline write-back, at the cost of flusher ticks on the commit
+	// path. Survives crash/recovery (re-applied by Cluster.Recover).
+	BackgroundFlush *flusher.Policy
+}
+
 // Cluster is a rack of CXL switch domains — each a switch plus its memory
 // box — over shared storage and durable logs: the disaggregated substrate.
 // It survives any Instance crash.
@@ -67,16 +152,25 @@ type Cluster struct {
 	wals       map[string]*wal.Store
 
 	instances map[string]*Instance
-	placement map[string]int // instance -> switch index
+	placement map[string]int            // instance -> switch index
+	configs   map[string]InstanceConfig // as started; re-applied on Recover
+
+	reg *obs.Registry
+	inj fault.Injector
 }
 
-// NewCluster builds the substrate.
-func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+// NewCluster builds the substrate. Options wire cross-cutting concerns
+// (observability, fault injection) through every switch domain.
+func NewCluster(cfg ClusterConfig, opts ...Option) (*Cluster, error) {
 	if cfg.PoolPages <= 0 {
 		cfg.PoolPages = 1024
 	}
 	if cfg.Pools <= 0 {
 		cfg.Pools = 1
+	}
+	var o clusterOptions
+	for _, opt := range opts {
+		opt(&o)
 	}
 	c := &Cluster{
 		storageCfg: cfg.Storage,
@@ -84,10 +178,23 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		wals:       make(map[string]*wal.Store),
 		instances:  make(map[string]*Instance),
 		placement:  make(map[string]int),
+		configs:    make(map[string]InstanceConfig),
+		reg:        o.reg,
+		inj:        o.inj,
 	}
 	for i := 0; i < cfg.Pools; i++ {
-		c.switches = append(c.switches,
-			cxl.NewSwitch(cxl.Config{PoolBytes: core.RegionSizeFor(cfg.PoolPages) + 4096}))
+		sw := cxl.NewSwitch(cxl.Config{PoolBytes: core.RegionSizeFor(cfg.PoolPages) + 4096})
+		if c.reg != nil {
+			sw.SetObserver(c.reg)
+		}
+		if c.inj != nil {
+			sw.SetInjector(c.inj)
+			sw.Device().SetInjector(c.inj)
+		}
+		c.switches = append(c.switches, sw)
+	}
+	if c.reg != nil {
+		recovery.SetObserver(c.reg)
 	}
 	return c, nil
 }
@@ -103,7 +210,7 @@ func (c *Cluster) place(size int64) (int, error) {
 		}
 	}
 	if best < 0 {
-		return 0, fmt.Errorf("polarcxlmem: no pool has %d free bytes (pools: %d)", size, len(c.switches))
+		return 0, fmt.Errorf("%w for %d bytes (pools: %d)", ErrNoCapacity, size, len(c.switches))
 	}
 	return best, nil
 }
@@ -118,53 +225,107 @@ type Instance struct {
 	crashed bool
 }
 
-// StartInstance boots a fresh instance named name with a buffer pool of
-// poolPages CXL blocks.
-func (c *Cluster) StartInstance(name string, poolPages int64) (*Instance, error) {
-	if _, ok := c.instances[name]; ok {
-		return nil, fmt.Errorf("polarcxlmem: instance %q already exists", name)
+// Start boots a fresh instance from cfg: its buffer pool is placed on the
+// emptiest switch domain, its commit pipeline configured per cfg, and —
+// when the cluster has an observer — every layer instrumented.
+func (c *Cluster) Start(cfg InstanceConfig) (*Instance, error) {
+	if cfg.Name == "" {
+		return nil, fmt.Errorf("polarcxlmem: InstanceConfig.Name is required")
+	}
+	if cfg.PoolPages <= 0 {
+		return nil, fmt.Errorf("polarcxlmem: instance %q needs PoolPages > 0", cfg.Name)
+	}
+	if cfg.CacheBytes <= 0 {
+		cfg.CacheBytes = 8 << 20
+	}
+	if _, ok := c.instances[cfg.Name]; ok {
+		return nil, fmt.Errorf("%w: %q", ErrInstanceExists, cfg.Name)
 	}
 	clk := simclock.New()
-	swIdx, err := c.place(core.RegionSizeFor(poolPages))
+	swIdx, err := c.place(core.RegionSizeFor(cfg.PoolPages))
 	if err != nil {
 		return nil, err
 	}
-	host := c.switches[swIdx].AttachHost(name + "-host")
-	region, err := host.Allocate(clk, name, core.RegionSizeFor(poolPages))
+	host := c.switches[swIdx].AttachHost(cfg.Name + "-host")
+	region, err := host.Allocate(clk, cfg.Name, core.RegionSizeFor(cfg.PoolPages))
 	if err != nil {
 		return nil, err
 	}
-	c.placement[name] = swIdx
-	cache := host.NewCache(name, 8<<20)
+	c.placement[cfg.Name] = swIdx
+	cache := host.NewCache(cfg.Name, cfg.CacheBytes)
 	// Each instance is its own database: its own storage volume and log
 	// stream on the shared storage service.
 	store := storage.New(c.storageCfg)
-	c.stores[name] = store
+	c.stores[cfg.Name] = store
 	pool, err := core.Format(host, region, cache, store)
 	if err != nil {
 		return nil, err
 	}
 	ws := wal.NewStore(0, 0)
-	c.wals[name] = ws
+	c.wals[cfg.Name] = ws
 	eng, err := txn.Bootstrap(clk, pool, wal.Attach(ws), store)
 	if err != nil {
 		return nil, err
 	}
-	inst := &Instance{name: name, cluster: c, clk: clk, pool: pool, eng: eng}
-	c.instances[name] = inst
+	inst := &Instance{name: cfg.Name, cluster: c, clk: clk, pool: pool, eng: eng}
+	if err := c.applyInstanceOptions(inst, cfg); err != nil {
+		return nil, err
+	}
+	c.instances[cfg.Name] = inst
+	c.configs[cfg.Name] = cfg
 	return inst, nil
+}
+
+// applyInstanceOptions wires an engine's commit pipeline and observability
+// per cfg — shared by Start and Recover so a recovered instance keeps the
+// pipeline it was started with.
+func (c *Cluster) applyInstanceOptions(inst *Instance, cfg InstanceConfig) error {
+	if c.reg != nil {
+		inst.pool.SetObserver(c.reg)
+	}
+	if cfg.GroupCommit != nil {
+		gc := inst.eng.EnableGroupCommit(*cfg.GroupCommit)
+		if c.reg != nil {
+			gc.SetObserver(c.reg)
+		}
+	}
+	if cfg.BackgroundFlush != nil {
+		fl, err := inst.eng.EnableBackgroundFlush(*cfg.BackgroundFlush)
+		if err != nil {
+			return err
+		}
+		if c.reg != nil {
+			fl.SetObserver(c.reg)
+		}
+	}
+	return nil
+}
+
+// StartInstance boots a fresh instance named name with a buffer pool of
+// poolPages CXL blocks and default options.
+//
+// Deprecated: use Start with an InstanceConfig, which also exposes cache
+// sizing and the group-commit/background-flush pipeline.
+func (c *Cluster) StartInstance(name string, poolPages int64) (*Instance, error) {
+	return c.Start(InstanceConfig{Name: name, PoolPages: poolPages})
 }
 
 // Recover restarts a crashed instance with PolarRecv: the surviving CXL
 // buffer pool is scanned, in-flight pages are rebuilt from redo, everything
-// else is reused in place. Returns the new instance and the recovery report.
+// else is reused in place. The instance's original InstanceConfig — cache
+// size, commit pipeline — is re-applied to the recovered engine. Returns
+// the new instance and the recovery report.
 func (c *Cluster) Recover(name string) (*Instance, *recovery.Result, error) {
 	old, ok := c.instances[name]
 	if !ok {
-		return nil, nil, fmt.Errorf("polarcxlmem: unknown instance %q", name)
+		return nil, nil, fmt.Errorf("%w: %q", ErrUnknownInstance, name)
 	}
 	if !old.crashed {
-		return nil, nil, fmt.Errorf("polarcxlmem: instance %q has not crashed", name)
+		return nil, nil, fmt.Errorf("%w: instance %q is live", ErrNotCrashed, name)
+	}
+	cfg := c.configs[name]
+	if cfg.CacheBytes <= 0 {
+		cfg.CacheBytes = 8 << 20
 	}
 	clk := simclock.NewAt(old.clk.Now())
 	host := c.switches[c.placement[name]].AttachHost(name + "-host")
@@ -172,12 +333,15 @@ func (c *Cluster) Recover(name string) (*Instance, *recovery.Result, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	cache := host.NewCache(name, 8<<20)
+	cache := host.NewCache(name, cfg.CacheBytes)
 	pool, eng, res, err := recovery.PolarRecv(clk, host, region, cache, c.wals[name], c.stores[name])
 	if err != nil {
 		return nil, nil, err
 	}
 	inst := &Instance{name: name, cluster: c, clk: clk, pool: pool, eng: eng}
+	if err := c.applyInstanceOptions(inst, cfg); err != nil {
+		return nil, nil, err
+	}
 	c.instances[name] = inst
 	return inst, res, nil
 }
@@ -187,6 +351,9 @@ func (c *Cluster) Switch() *cxl.Switch { return c.switches[0] }
 
 // Switches exposes every switch domain in the rack.
 func (c *Cluster) Switches() []*cxl.Switch { return c.switches }
+
+// Observer returns the registry installed with WithObserver (nil if none).
+func (c *Cluster) Observer() *obs.Registry { return c.reg }
 
 // PlacementOf reports which switch domain hosts an instance's buffer pool.
 func (c *Cluster) PlacementOf(name string) (int, bool) {
@@ -203,7 +370,8 @@ func (i *Instance) Name() string { return i.name }
 // Clock exposes the instance's virtual clock.
 func (i *Instance) Clock() *simclock.Clock { return i.clk }
 
-// Engine exposes the transaction engine for advanced use.
+// Engine exposes the transaction engine for advanced use (e.g. concurrent
+// committers, each with its own clock, via Engine().Begin).
 func (i *Instance) Engine() *txn.Engine { return i.eng }
 
 // Pool exposes the CXL buffer pool (stats, diagnostics).
@@ -211,7 +379,7 @@ func (i *Instance) Pool() *core.CXLPool { return i.pool }
 
 func (i *Instance) alive() error {
 	if i.crashed {
-		return fmt.Errorf("polarcxlmem: instance %q has crashed; call Cluster.Recover", i.name)
+		return fmt.Errorf("%w: %q; call Cluster.Recover", ErrCrashed, i.name)
 	}
 	return nil
 }
@@ -308,6 +476,3 @@ func (t *Txn) Commit() error { return t.tx.Commit() }
 
 // Rollback undoes the transaction.
 func (t *Txn) Rollback() error { return t.tx.Rollback() }
-
-// ErrKeyNotFound is re-exported for callers.
-var ErrKeyNotFound = btree.ErrKeyNotFound

@@ -126,6 +126,61 @@ func TestFacadeDuplicateInstance(t *testing.T) {
 	}
 }
 
+// TestFacadeTypedErrors pins the error contract of the redesigned API:
+// every facade failure path wraps one of the exported sentinels, so callers
+// dispatch with errors.Is rather than string matching.
+func TestFacadeTypedErrors(t *testing.T) {
+	cluster, err := NewCluster(ClusterConfig{PoolPages: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// ErrNoCapacity: an instance bigger than the whole pool.
+	if _, err := cluster.Start(InstanceConfig{Name: "huge", PoolPages: 1 << 20}); !errors.Is(err, ErrNoCapacity) {
+		t.Fatalf("oversized Start err = %v, want ErrNoCapacity", err)
+	}
+
+	inst, err := cluster.Start(InstanceConfig{Name: "db0", PoolPages: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// ErrInstanceExists: same name twice (via both constructors).
+	if _, err := cluster.Start(InstanceConfig{Name: "db0", PoolPages: 8}); !errors.Is(err, ErrInstanceExists) {
+		t.Fatalf("duplicate Start err = %v, want ErrInstanceExists", err)
+	}
+	if _, err := cluster.StartInstance("db0", 8); !errors.Is(err, ErrInstanceExists) {
+		t.Fatalf("duplicate StartInstance err = %v, want ErrInstanceExists", err)
+	}
+
+	// ErrUnknownInstance: recovering a name never started.
+	if _, _, err := cluster.Recover("nope"); !errors.Is(err, ErrUnknownInstance) {
+		t.Fatalf("Recover(unknown) err = %v, want ErrUnknownInstance", err)
+	}
+
+	// ErrNotCrashed: recovering a live instance.
+	if _, _, err := cluster.Recover("db0"); !errors.Is(err, ErrNotCrashed) {
+		t.Fatalf("Recover(live) err = %v, want ErrNotCrashed", err)
+	}
+
+	// ErrCrashed: every entry point on a dead handle.
+	inst.Crash()
+	if _, err := inst.CreateTable("t"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("CreateTable on crashed err = %v, want ErrCrashed", err)
+	}
+	if _, err := inst.OpenTable("t"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("OpenTable on crashed err = %v, want ErrCrashed", err)
+	}
+	if err := inst.Checkpoint(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("Checkpoint on crashed err = %v, want ErrCrashed", err)
+	}
+
+	// Recovery clears the condition.
+	if _, _, err := cluster.Recover("db0"); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestSharingClusterCoherency(t *testing.T) {
 	sc, err := NewSharingCluster(SharingConfig{Nodes: 3, DBPPages: 16})
 	if err != nil {

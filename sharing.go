@@ -33,8 +33,10 @@ type SharingCluster struct {
 	clk    *simclock.Clock
 }
 
-// NewSharingCluster builds the deployment.
-func NewSharingCluster(cfg SharingConfig) (*SharingCluster, error) {
+// NewSharingCluster builds the deployment. Options wire observability and
+// fault injection through the switch, its memory device, and the fusion
+// server, same as NewCluster.
+func NewSharingCluster(cfg SharingConfig, opts ...Option) (*SharingCluster, error) {
 	if cfg.Nodes <= 0 {
 		return nil, fmt.Errorf("polarcxlmem: sharing cluster needs nodes > 0")
 	}
@@ -44,11 +46,22 @@ func NewSharingCluster(cfg SharingConfig) (*SharingCluster, error) {
 	if cfg.MetaSlots <= 0 {
 		cfg.MetaSlots = 4096
 	}
+	var o clusterOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
 	clk := simclock.New()
 	flagBytes := int64(cfg.MetaSlots) * 16
 	sw := cxl.NewSwitch(cxl.Config{
 		PoolBytes: int64(cfg.DBPPages)*page.Size + int64(cfg.Nodes+1)*flagBytes + 4096,
 	})
+	if o.reg != nil {
+		sw.SetObserver(o.reg)
+	}
+	if o.inj != nil {
+		sw.SetInjector(o.inj)
+		sw.Device().SetInjector(o.inj)
+	}
 	store := storage.New(storage.Config{})
 	fhost := sw.AttachHost("fusion-host")
 	dbp, err := fhost.Allocate(clk, "dbp", int64(cfg.DBPPages)*page.Size)
@@ -56,6 +69,12 @@ func NewSharingCluster(cfg SharingConfig) (*SharingCluster, error) {
 		return nil, err
 	}
 	fusion := sharing.NewFusion(fhost, dbp, store)
+	if o.reg != nil {
+		fusion.SetObserver(o.reg)
+	}
+	if o.inj != nil {
+		fusion.SetInjector(o.inj)
+	}
 	sc := &SharingCluster{sw: sw, fusion: fusion, store: store, clk: clk}
 	for i := 0; i < cfg.Nodes; i++ {
 		name := fmt.Sprintf("node-%d", i)
