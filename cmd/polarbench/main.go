@@ -97,7 +97,11 @@ func main() {
 				f.Close()
 			}
 		}
-		fmt.Printf("  [%s completed in %.1fs wall time]\n", id, time.Since(start).Seconds())
+		// Progress only — wall time varies per machine, so it goes to stderr;
+		// stdout carries nothing but virtual-time results and is byte-for-byte
+		// reproducible across machines (the recorded BENCH outputs depend on
+		// that).
+		fmt.Fprintf(os.Stderr, "  [%s completed in %.1fs wall time]\n", id, time.Since(start).Seconds())
 	}
 	if reg == nil {
 		return

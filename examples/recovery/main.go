@@ -141,7 +141,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		pool2, eng2, res, err := recovery.PolarRecv(clk2, host2, region2, host2.NewCache("db0", 8<<20), ws, store)
+		pool2, eng2, res, err := recovery.PolarRecv(clk2, host2, region2, host2.NewCache("db0", 8<<20), ws, store, nil)
 		if err != nil {
 			log.Fatal(err)
 		}

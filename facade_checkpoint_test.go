@@ -1,0 +1,119 @@
+package polarcxlmem
+
+import (
+	"fmt"
+	"testing"
+
+	"polarcxlmem/internal/checkpoint"
+	"polarcxlmem/internal/obs"
+	"polarcxlmem/internal/simclock"
+)
+
+// TestFacadeCheckpointLifecycle drives the full checkpoint story through the
+// public API: an instance started with InstanceConfig.Checkpoint publishes
+// checkpoints and truncates its WAL while committing; the WithObserver
+// registry sees the checkpoint counters and gauges; a crash + Recover
+// restarts redo from the CXL checkpoint area and re-arms the checkpointer so
+// it keeps publishing.
+func TestFacadeCheckpointLifecycle(t *testing.T) {
+	reg := obs.New(obs.Options{})
+	cluster, err := NewCluster(ClusterConfig{PoolPages: 256}, WithObserver(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := cluster.Start(InstanceConfig{
+		Name:      "db0",
+		PoolPages: 128,
+		// BackgroundFlush deliberately nil: Checkpoint implies a default
+		// flusher.
+		Checkpoint: &checkpoint.Policy{IntervalNanos: 50 * simclock.Microsecond, DirtyWatermark: 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.CheckpointArea() == nil {
+		t.Fatal("instance started with Checkpoint has no checkpoint area")
+	}
+	if inst.Engine().Flusher() == nil {
+		t.Fatal("Checkpoint config did not imply a background flusher")
+	}
+	tbl, err := inst.CreateTable("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	commitRounds := func(in *Instance, tb *Table, from, to int) {
+		t.Helper()
+		for r := from; r < to; r++ {
+			tx := in.Begin()
+			k := int64(r % 32)
+			v := []byte(fmt.Sprintf("round-%05d", r))
+			var err error
+			if r < 32 {
+				err = tx.Insert(tb, k, v)
+			} else {
+				err = tx.Update(tb, k, v)
+			}
+			if err != nil {
+				t.Fatalf("round %d: %v", r, err)
+			}
+			if err := tx.Commit(); err != nil {
+				t.Fatalf("commit round %d: %v", r, err)
+			}
+		}
+	}
+	commitRounds(inst, tbl, 0, 200)
+
+	area := inst.CheckpointArea()
+	if area.LSN() == 0 {
+		t.Fatal("no checkpoint published after 200 committed rounds")
+	}
+	ws := inst.Engine().Log().Store()
+	if ws.TruncatedBefore() <= 1 {
+		t.Fatal("WAL never truncated despite repeated checkpoints")
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["checkpoint.published"] < 2 {
+		t.Fatalf("checkpoint.published = %d, want >= 2", snap.Counters["checkpoint.published"])
+	}
+	if got := snap.Gauges["checkpoint.lsn"]; got != int64(area.LSN()) {
+		t.Fatalf("checkpoint.lsn gauge = %d, area LSN %d", got, area.LSN())
+	}
+	if got := snap.Gauges["checkpoint.truncated_lsn"]; got != int64(ws.TruncatedBefore()) {
+		t.Fatalf("checkpoint.truncated_lsn gauge = %d, truncation point %d", got, ws.TruncatedBefore())
+	}
+
+	lsnAtCrash := area.LSN()
+	inst.Crash()
+	inst2, rec, err := cluster.Recover("db0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Redo started from the durable checkpoint, not from LSN 1.
+	if rec.CheckpointLSN < lsnAtCrash {
+		t.Fatalf("recovery checkpoint LSN %d below published %d", rec.CheckpointLSN, lsnAtCrash)
+	}
+	tbl2, err := inst2.OpenTable("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := inst2.Begin()
+	v, err := tx.Get(tbl2, int64(199%32))
+	if err != nil || string(v) != "round-00199" {
+		t.Fatalf("newest committed row after recovery = %q, %v", v, err)
+	}
+	tx.Commit()
+
+	// The recovered instance keeps checkpointing: its area handle is fresh
+	// but continues the same durable record.
+	if inst2.CheckpointArea() == nil {
+		t.Fatal("recovered instance lost its checkpoint area")
+	}
+	published := inst2.Engine().Checkpointer().Published()
+	commitRounds(inst2, tbl2, 200, 400)
+	if inst2.Engine().Checkpointer().Published() <= published {
+		t.Fatal("recovered checkpointer never published again")
+	}
+	if inst2.CheckpointArea().LSN() <= lsnAtCrash {
+		t.Fatalf("checkpoint LSN stuck at %d after recovery", inst2.CheckpointArea().LSN())
+	}
+}

@@ -313,7 +313,7 @@ func runAblateMeta(cfg Config) ([]*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		_, _, res, err := recovery.PolarRecv(clk2, host2, region2, host2.NewCache("db0", 2<<20), rig.ws, rig.store)
+		_, _, res, err := recovery.PolarRecv(clk2, host2, region2, host2.NewCache("db0", 2<<20), rig.ws, rig.store, nil)
 		if err != nil {
 			return nil, err
 		}

@@ -118,7 +118,7 @@ func runTimeline(cfg Config, kind PoolKind, wl string) (*fig10Run, error) {
 			return nil, rerr
 		}
 		cache2 := host2.NewCache("db0", 2<<20)
-		_, e, r, rerr2 := recovery.PolarRecv(clk2, host2, region2, cache2, rig.ws, rig.store)
+		_, e, r, rerr2 := recovery.PolarRecv(clk2, host2, region2, cache2, rig.ws, rig.store, nil)
 		if rerr2 != nil {
 			return nil, rerr2
 		}

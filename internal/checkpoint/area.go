@@ -1,0 +1,211 @@
+// Package checkpoint implements continuous fuzzy checkpointing for the
+// PolarCXLMem engine: a CXL-durable checkpoint record plus a virtual-time
+// checkpointer daemon that rides the commit path (like internal/flusher),
+// publishes a new checkpoint LSN once the background flusher has drained the
+// dirty backlog, and truncates the redo log behind the PREVIOUS checkpoint.
+//
+// The paper's PolarRecv experiment (§4.3) replays redo from the log start;
+// that is fine for a one-shot run but unbounded for a long-lived service:
+// the WAL grows with uptime and so does recovery. This package bounds both.
+// Recovery (internal/recovery) reads the newest durable checkpoint record
+// and scans the log from there; the log is guaranteed to still hold that
+// tail because truncation always trails the published checkpoint by one full
+// cycle.
+package checkpoint
+
+import (
+	"fmt"
+	"sync"
+
+	"polarcxlmem/internal/simclock"
+	"polarcxlmem/internal/simmem"
+)
+
+// The checkpoint record is double-buffered across two 64-byte slots — one
+// CXL cache line each — so a torn write can never destroy the only copy.
+// Each slot holds four 8-byte words:
+//
+//	off  0: magic     ("POLACKP1")
+//	off  8: seq       (monotone publish sequence; newest valid slot wins)
+//	off 16: lsn       (the checkpoint LSN recovery scans from)
+//	off 24: sum       (checksum over magic/seq/lsn — the validity flip)
+//
+// Publish writes the three body words into the standby slot first and the
+// checksum word LAST: until the checksum lands, the slot fails validation
+// and recovery keeps using the other slot. Every word is a separate costed
+// CXL store, so the crash-point sweep kills the host between each pair of
+// them — including between body words (a torn record) and between the WAL
+// truncation and the checksum flip.
+const (
+	slotSize = 64
+	// AreaSize is the CXL region size an Area needs (two record slots).
+	AreaSize = 2 * slotSize
+
+	slotMagic = 0x504f4c41434b5031 // "POLACKP1" little-endian-ish tag
+
+	offMagic = 0
+	offSeq   = 8
+	offLSN   = 16
+	offSum   = 24
+)
+
+// slotSum is the record checksum: a mixed digest of the body words. A crash
+// between any two body stores leaves the old checksum in place, which can
+// no longer match the half-updated body.
+func slotSum(seq, lsn uint64) uint64 {
+	x := slotMagic ^ seq*0x9E3779B97F4A7C15 ^ lsn
+	// splitmix64 finalizer: avalanche every body bit into the sum.
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// Area is the double-buffered checkpoint record over a (small) CXL region.
+// It survives host crashes with the region; reattach and NewArea again to
+// read the last published checkpoint.
+type Area struct {
+	reg *simmem.Region
+
+	mu  sync.Mutex
+	seq uint64 // newest valid slot's sequence number (0 = none yet)
+	lsn uint64 // newest valid slot's checkpoint LSN
+}
+
+// NewArea opens (or initializes over zeroed memory) a checkpoint area on
+// reg, which must be at least AreaSize bytes. The constructor syncs its
+// cursor from the region raw — like core.Format reading the pool header —
+// so a reattached area continues the sequence where the crashed host left
+// it; use Load for a costed recovery-time read.
+func NewArea(reg *simmem.Region) (*Area, error) {
+	if reg == nil {
+		return nil, fmt.Errorf("checkpoint: nil region")
+	}
+	if reg.Size() < AreaSize {
+		return nil, fmt.Errorf("checkpoint: region is %d bytes, need %d", reg.Size(), AreaSize)
+	}
+	a := &Area{reg: reg}
+	for slot := 0; slot < 2; slot++ {
+		seq, lsn, ok, err := a.readSlotRaw(slot)
+		if err != nil {
+			return nil, err
+		}
+		if ok && seq > a.seq {
+			a.seq, a.lsn = seq, lsn
+		}
+	}
+	return a, nil
+}
+
+// readSlotRaw validates one slot without charging virtual time.
+func (a *Area) readSlotRaw(slot int) (seq, lsn uint64, ok bool, err error) {
+	base := int64(slot) * slotSize
+	magic, err := a.reg.Load64Raw(base + offMagic)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	if seq, err = a.reg.Load64Raw(base + offSeq); err != nil {
+		return 0, 0, false, err
+	}
+	if lsn, err = a.reg.Load64Raw(base + offLSN); err != nil {
+		return 0, 0, false, err
+	}
+	sum, err := a.reg.Load64Raw(base + offSum)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	if magic != slotMagic || sum != slotSum(seq, lsn) {
+		return 0, 0, false, nil // torn, stale, or never written
+	}
+	return seq, lsn, true, nil
+}
+
+// Load reads both slots as costed CXL loads and returns the newest valid
+// checkpoint LSN (ok=false when no checkpoint was ever published). It also
+// re-syncs the publish cursor — recovery calls this before re-enabling the
+// checkpointer.
+func (a *Area) Load(clk *simclock.Clock) (lsn uint64, ok bool, err error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var bestSeq, bestLSN uint64
+	for slot := 0; slot < 2; slot++ {
+		base := int64(slot) * slotSize
+		// Charge the four word loads; validation reuses the raw path.
+		for _, off := range []int64{offMagic, offSeq, offLSN, offSum} {
+			if _, lerr := a.reg.Load64(clk, base+off); lerr != nil {
+				return 0, false, lerr
+			}
+		}
+		seq, slotLSN, valid, rerr := a.readSlotRaw(slot)
+		if rerr != nil {
+			return 0, false, rerr
+		}
+		if valid && seq > bestSeq {
+			bestSeq, bestLSN = seq, slotLSN
+		}
+	}
+	a.seq, a.lsn = bestSeq, bestLSN
+	return bestLSN, bestSeq != 0, nil
+}
+
+// LSN reports the last known published checkpoint LSN (0 if none).
+func (a *Area) LSN() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.lsn
+}
+
+// Seq reports the last known publish sequence number (0 if none).
+func (a *Area) Seq() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.seq
+}
+
+// Publish records a new checkpoint at lsn. It stages the body words into
+// the standby slot (the one NOT holding the newest record — publishes
+// alternate), then runs mid — the caller's WAL-truncation step — and only
+// then writes the checksum word that flips the slot valid. The crash
+// semantics at every point:
+//
+//   - between body stores: the slot checksum no longer matches, recovery
+//     falls back to the other slot's older checkpoint, whose redo tail is
+//     intact because truncation trails by one checkpoint;
+//   - between mid (truncation) and the checksum flip: recovery reads the
+//     OLD checkpoint C_prev, and the log was truncated only below C_prev+1
+//     — exactly the tail that checkpoint needs;
+//   - after the flip: the new record is in force and the (lagging)
+//     truncation point is below it by construction.
+//
+// A mid error aborts the publish with the staged slot unsealed, which is
+// indistinguishable from a torn write — safe.
+func (a *Area) Publish(clk *simclock.Clock, lsn uint64, mid func() error) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if lsn <= a.lsn {
+		return fmt.Errorf("checkpoint: publish lsn %d not past current %d", lsn, a.lsn)
+	}
+	seq := a.seq + 1
+	base := int64(seq%2) * slotSize // alternate slots; never the newest one
+	if err := a.reg.Store64(clk, base+offMagic, slotMagic); err != nil {
+		return err
+	}
+	if err := a.reg.Store64(clk, base+offSeq, seq); err != nil {
+		return err
+	}
+	if err := a.reg.Store64(clk, base+offLSN, lsn); err != nil {
+		return err
+	}
+	if mid != nil {
+		if err := mid(); err != nil {
+			return err
+		}
+	}
+	if err := a.reg.Store64(clk, base+offSum, slotSum(seq, lsn)); err != nil {
+		return err
+	}
+	a.seq, a.lsn = seq, lsn
+	return nil
+}

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"polarcxlmem/internal/btree"
+	"polarcxlmem/internal/checkpoint"
 	"polarcxlmem/internal/core"
 	"polarcxlmem/internal/cxl"
 	"polarcxlmem/internal/fault"
@@ -18,35 +19,61 @@ import (
 	"polarcxlmem/internal/wal"
 )
 
-// The batched-pipeline variant of the PolarRecv crash-point sweep: the same
-// scripted workload, but with the group committer AND the background flusher
-// enabled, so the write-side op stream now includes the flusher's batched
-// writeback sequences. Every one of those batched CXL writes passes through
-// the same fault-injection op points as the inline paths — this sweep kills
-// the host at each of them in turn and requires full recovery.
+// The fuzzy-checkpoint variant of the PolarRecv crash-point sweep: group
+// committer + background flusher + the continuous checkpointer, all enabled,
+// over the same scripted workload. The checkpoint area lives on the SAME
+// injected CXL device as the buffer pool, so the write-side op stream now
+// also contains every checkpoint-record store — the three body words, the
+// checksum flip, and the publish-time drain writebacks. Killing the host at
+// each index in turn therefore covers every mid-checkpoint window the design
+// argues about:
 //
-// Shadow accounting stays exact: commitUnit ticks the flusher BEFORE
-// appending the commit marker, so a crash during background writeback leaves
-// the transaction uncommitted (its effects must be absent after recovery),
-// and the commit marker itself touches only the uninjected WAL device.
+//   - between any two record body stores (a torn slot: the checksum cannot
+//     match, recovery must fall back to the other slot);
+//   - between the WAL truncation (which runs mid-publish, after the body,
+//     before the checksum) and the checksum flip (recovery must restart from
+//     the OLD checkpoint, whose redo tail truncation deliberately spared);
+//   - during the publish-time drain, and during ordinary flusher writeback
+//     with a checkpoint pending.
+//
+// Recovery reattaches BOTH regions, reads the newest valid checkpoint slot,
+// replays redo from there, and must converge to exactly the committed shadow
+// state — same invariants as the other sweeps, plus checkpoint-specific
+// checks (recovery really started at the area's LSN; the surviving log tail
+// covers it).
 
-// batchedPipelinePolicy is deliberately aggressive — a tiny interval and
-// budget so the flusher fires many times within the short sweep workload,
-// putting plenty of background-writeback op points inside the swept window.
-var batchedPipelinePolicy = flusher.Policy{
+// checkpointSweepFlushPolicy mirrors the batched-pipeline sweep's aggressive
+// flusher so the backlog keeps dipping below the checkpoint watermark.
+var checkpointSweepFlushPolicy = flusher.Policy{
 	IntervalNanos:   20 * simclock.Microsecond,
 	MinBatch:        2,
 	MaxBatch:        8,
 	RedoBudgetBytes: 16 << 10,
 }
 
-// batchedPipelineSweepRun is one (seed, crashIndex) experiment with the
-// commit pipeline enabled end to end.
-func batchedPipelineSweepRun(plan *fault.Plan) error {
+// checkpointSweepPolicy fires a checkpoint attempt every couple of flusher
+// intervals, so several full publish cycles — and at least one truncation —
+// land inside the short swept window.
+var checkpointSweepPolicy = checkpoint.Policy{
+	IntervalNanos:  40 * simclock.Microsecond,
+	DirtyWatermark: 8,
+}
+
+// checkpointSweepRun is one (seed, crashIndex) experiment with fuzzy
+// checkpointing enabled end to end.
+func checkpointSweepRun(plan *fault.Plan) error {
 	sw := cxl.NewSwitch(cxl.Config{PoolBytes: core.RegionSizeFor(sweepBlocks) + 4096})
 	host := sw.AttachHost("h0")
 	clk := simclock.New()
 	region, err := host.Allocate(clk, "db0", core.RegionSizeFor(sweepBlocks))
+	if err != nil {
+		return err
+	}
+	ckReg, err := host.Allocate(clk, "db0-ckpt", checkpoint.AreaSize)
+	if err != nil {
+		return err
+	}
+	area, err := checkpoint.NewArea(ckReg)
 	if err != nil {
 		return err
 	}
@@ -62,7 +89,10 @@ func batchedPipelineSweepRun(plan *fault.Plan) error {
 		return err
 	}
 	eng.EnableGroupCommit(wal.GroupPolicy{})
-	if _, err := eng.EnableBackgroundFlush(batchedPipelinePolicy); err != nil {
+	if _, err := eng.EnableBackgroundFlush(checkpointSweepFlushPolicy); err != nil {
+		return err
+	}
+	if _, err := eng.EnableCheckpoints(area, checkpointSweepPolicy); err != nil {
 		return err
 	}
 	tr, err := eng.CreateTable(clk, "t")
@@ -90,9 +120,8 @@ func batchedPipelineSweepRun(plan *fault.Plan) error {
 	if err := tx.Commit(); err != nil {
 		return err
 	}
-	if err := eng.Checkpoint(clk); err != nil {
-		return err
-	}
+	// No explicit Engine.Checkpoint anywhere: the fuzzy checkpointer owns
+	// checkpointing AND log truncation for this rig, start to finish.
 
 	sw.Device().SetInjector(plan)
 	workErr := func() (retErr error) {
@@ -140,12 +169,10 @@ func batchedPipelineSweepRun(plan *fault.Plan) error {
 					return fmt.Errorf("round %d op %d: %w", round, i, err)
 				}
 			}
-			// Unlike the base sweep, Commit CAN fail here: the flusher tick
-			// precedes the marker append and its batched CXL writes are
-			// injected. A crash there means the host died with the unit
-			// UNCOMMITTED — the shadow stays at `committed`, exactly as for a
-			// mid-statement crash. The marker append itself still touches
-			// only the uninjected WAL device.
+			// Commit ticks the flusher AND the checkpointer before the marker
+			// append, so a crash anywhere mid-checkpoint — body stores, the
+			// truncation, the checksum flip, the drain — leaves this unit
+			// UNCOMMITTED and the shadow stays at `committed`.
 			if err := tx.Commit(); err != nil {
 				if fault.IsCrash(err) {
 					return nil
@@ -153,14 +180,6 @@ func batchedPipelineSweepRun(plan *fault.Plan) error {
 				return fmt.Errorf("commit round %d: %w", round, err)
 			}
 			committed = staged
-			if rng.Intn(4) == 0 {
-				if err := eng.Checkpoint(clk); err != nil {
-					if fault.IsCrash(err) {
-						return nil
-					}
-					return fmt.Errorf("checkpoint round %d: %w", round, err)
-				}
-			}
 		}
 		return nil
 	}()
@@ -168,6 +187,16 @@ func batchedPipelineSweepRun(plan *fault.Plan) error {
 	sw.Device().SetInjector(nil)
 	if workErr != nil {
 		return workErr
+	}
+	if len(plan.Firings()) == 0 {
+		// Counting pass (no trigger armed): the workload itself must exercise
+		// the windows the sweep is about, or the whole test is vacuous.
+		if n := eng.Checkpointer().Published(); n < 2 {
+			return fmt.Errorf("counting pass published only %d checkpoints (need >= 2 so a truncation lands in the swept window)", n)
+		}
+		if tb := ws.TruncatedBefore(); tb <= 1 {
+			return fmt.Errorf("counting pass never truncated the log (truncation point %d)", tb)
+		}
 	}
 
 	_ = pool
@@ -177,13 +206,31 @@ func batchedPipelineSweepRun(plan *fault.Plan) error {
 	if err != nil {
 		return err
 	}
+	ckReg2, err := host2.Reattach(clk2, "db0-ckpt")
+	if err != nil {
+		return err
+	}
+	area2, err := checkpoint.NewArea(ckReg2)
+	if err != nil {
+		return fmt.Errorf("reattach checkpoint area: %w", err)
+	}
 	cache2 := host2.NewCache("db0", sweepCacheB)
-	pool2, eng2, res, err := PolarRecv(clk2, host2, region2, cache2, ws, store, nil)
+	pool2, eng2, res, err := PolarRecv(clk2, host2, region2, cache2, ws, store, area2)
 	if err != nil {
 		return fmt.Errorf("PolarRecv: %w", err)
 	}
 	if res.RedoApplied < 0 || res.RedoApplied > res.RedoRecords {
 		return fmt.Errorf("RedoApplied = %d outside [0, RedoRecords=%d]", res.RedoApplied, res.RedoRecords)
+	}
+	// Recovery must have started from the area's newest valid checkpoint
+	// (the store-recorded checkpoint stays 0 in this rig), and the surviving
+	// log tail must actually cover it: scanning from CheckpointLSN+1 is the
+	// redo pass recovery just ran, so it must not be truncated away.
+	if res.CheckpointLSN != area2.LSN() {
+		return fmt.Errorf("recovery checkpoint LSN %d != area LSN %d", res.CheckpointLSN, area2.LSN())
+	}
+	if tb := ws.TruncatedBefore(); tb > res.CheckpointLSN+1 {
+		return fmt.Errorf("log truncated to %d, above checkpoint redo start %d", tb, res.CheckpointLSN+1)
 	}
 
 	rep := pool2.Fsck()
@@ -219,14 +266,15 @@ func batchedPipelineSweepRun(plan *fault.Plan) error {
 	return nil
 }
 
-// TestCrashSweepBatchedPipeline kills the host at EVERY write-side CXL
-// operation index — now including the background flusher's batched
-// writebacks — and requires full recovery each time.
-func TestCrashSweepBatchedPipeline(t *testing.T) {
+// TestCrashSweepCheckpoint kills the host at EVERY write-side CXL operation
+// index — including each checkpoint-record store and the mid-publish WAL
+// truncation window — and requires full recovery from the surviving
+// checkpoint each time.
+func TestCrashSweepCheckpoint(t *testing.T) {
 	if testing.Short() {
-		t.Skip("full sweep skipped in -short; TestCrashSweepBatchedPipelineSmoke covers the strided variant")
+		t.Skip("full sweep skipped in -short; TestCrashSweepCheckpointSmoke covers the strided variant")
 	}
-	res := fault.Sweep(t, fault.Config{Seed: 20250806}, batchedPipelineSweepRun)
+	res := fault.Sweep(t, fault.Config{Seed: 20250807}, checkpointSweepRun)
 	if res.Total < 100 {
 		t.Fatalf("workload too small: only %d write-side crash points (need >= 100)", res.Total)
 	}
@@ -238,10 +286,10 @@ func TestCrashSweepBatchedPipeline(t *testing.T) {
 	}
 }
 
-// TestCrashSweepBatchedPipelineSmoke is the CI short-budget variant: ~12
-// strided crash points over the same batched-pipeline workload.
-func TestCrashSweepBatchedPipelineSmoke(t *testing.T) {
-	res := fault.Sweep(t, fault.Config{Seed: 777, Points: 12}, batchedPipelineSweepRun)
+// TestCrashSweepCheckpointSmoke is the CI short-budget variant: ~12 strided
+// crash points over the same fuzzy-checkpoint workload.
+func TestCrashSweepCheckpointSmoke(t *testing.T) {
+	res := fault.Sweep(t, fault.Config{Seed: 778, Points: 12}, checkpointSweepRun)
 	if res.Tested < 10 {
 		t.Fatalf("smoke sweep tested only %d crash points (need >= 10)", res.Tested)
 	}

@@ -212,7 +212,7 @@ func TestRecoveryIsRepeatable(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, eng3, res2, err := PolarRecv(clk3, host3, region3, host3.NewCache("db0", 4<<20), r.ws, r.store)
+	_, eng3, res2, err := PolarRecv(clk3, host3, region3, host3.NewCache("db0", 4<<20), r.ws, r.store, nil)
 	if err != nil {
 		t.Fatalf("second recovery: %v", err)
 	}

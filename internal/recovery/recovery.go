@@ -27,6 +27,7 @@ import (
 
 	"polarcxlmem/internal/btree"
 	"polarcxlmem/internal/buffer"
+	"polarcxlmem/internal/checkpoint"
 	"polarcxlmem/internal/core"
 	"polarcxlmem/internal/cxl"
 	"polarcxlmem/internal/mtr"
@@ -95,9 +96,13 @@ type analysis struct {
 	maxPageID uint64
 }
 
-func analyze(ws *wal.Store, fromLSN uint64) *analysis {
+// analyze scans the durable tail from fromLSN. A scan below the truncation
+// point fails loudly with wal.ErrTruncated — that means checkpoint/
+// truncation bookkeeping is broken, and a silently shortened redo pass
+// would corrupt the database.
+func analyze(ws *wal.Store, fromLSN uint64) (*analysis, error) {
 	a := &analysis{committed: make(map[uint64]bool), perPage: make(map[uint64][]wal.Record)}
-	ws.Iterate(fromLSN, func(r wal.Record) bool {
+	if err := ws.Iterate(fromLSN, func(r wal.Record) bool {
 		switch r.Kind {
 		case wal.KTxnCommit, wal.KMTRCommit:
 			a.committed[r.Txn] = true
@@ -114,16 +119,42 @@ func analyze(ws *wal.Store, fromLSN uint64) *analysis {
 			}
 		}
 		return true
-	})
-	return a
+	}); err != nil {
+		return nil, fmt.Errorf("recovery: log scan from LSN %d: %w", fromLSN, err)
+	}
+	return a, nil
 }
 
 // chargeLogScan models the sequential read of the durable log tail.
-func chargeLogScan(clk *simclock.Clock, ws *wal.Store, fromLSN uint64) int64 {
-	bytes := ws.BytesFrom(fromLSN)
+func chargeLogScan(clk *simclock.Clock, ws *wal.Store, fromLSN uint64) (int64, error) {
+	bytes, err := ws.BytesFrom(fromLSN)
+	if err != nil {
+		return 0, fmt.Errorf("recovery: log scan from LSN %d: %w", fromLSN, err)
+	}
 	clk.Advance(wal.DefaultFsyncNanos) // open/position
 	ws.Device().Use(clk, bytes)
-	return bytes
+	return bytes, nil
+}
+
+// checkpointFor resolves the LSN recovery scans from: the later of the
+// store-recorded checkpoint and — when a CXL checkpoint area is supplied —
+// the newest durable checkpoint record (costed read of both slots). Taking
+// the max keeps mixed deployments safe: explicit Engine.Checkpoint calls
+// and the fuzzy checkpointer each truncate only behind their own previous
+// checkpoint, and a scan from any later valid checkpoint is always
+// sufficient.
+func checkpointFor(clk *simclock.Clock, ws *wal.Store, ckpt *checkpoint.Area) (uint64, error) {
+	lsn := ws.CheckpointLSN()
+	if ckpt != nil {
+		areaLSN, ok, err := ckpt.Load(clk)
+		if err != nil {
+			return 0, fmt.Errorf("recovery: checkpoint area: %w", err)
+		}
+		if ok && areaLSN > lsn {
+			lsn = areaLSN
+		}
+	}
+	return lsn, nil
 }
 
 // redoThroughPool replays every post-checkpoint record through the pool
@@ -216,13 +247,19 @@ func Recover(clk *simclock.Clock, scheme string, pool buffer.Creator, ws *wal.St
 	res := &Result{Scheme: scheme, StartNanos: clk.Now(),
 		CheckpointLSN: ws.CheckpointLSN(), DurableLSN: ws.DurableLSN()}
 	from := ws.CheckpointLSN() + 1
-	res.LogScanBytes = chargeLogScan(clk, ws, from)
-	a := analyze(ws, from)
-	res.RedoRecords = a.records
-	applied, err := redoThroughPool(clk, pool, a)
-	res.RedoApplied = applied
+	var err error
+	if res.LogScanBytes, err = chargeLogScan(clk, ws, from); err != nil {
+		return nil, res, err
+	}
+	a, err := analyze(ws, from)
 	if err != nil {
 		return nil, res, err
+	}
+	res.RedoRecords = a.records
+	applied, rerr := redoThroughPool(clk, pool, a)
+	res.RedoApplied = applied
+	if rerr != nil {
+		return nil, res, rerr
 	}
 	res.PagesRebuilt = len(a.perPage)
 	store.BumpNextID(a.maxPageID)
@@ -243,10 +280,18 @@ func Recover(clk *simclock.Clock, scheme string, pool buffer.Creator, ws *wal.St
 
 // PolarRecv runs the paper's instant recovery over the surviving CXL
 // region: scan metadata, trust unlocked/not-too-new pages in place, rebuild
-// only the in-flight ones, then undo.
-func PolarRecv(clk *simclock.Clock, host *cxl.HostPort, region *simmem.Region, cache *simcpu.Cache, ws *wal.Store, store *storage.Store) (*core.CXLPool, *txn.Engine, *Result, error) {
-	res := &Result{Scheme: "polarrecv", StartNanos: clk.Now(),
-		CheckpointLSN: ws.CheckpointLSN(), DurableLSN: ws.DurableLSN()}
+// only the in-flight ones, then undo. ckpt, when non-nil, is the instance's
+// CXL-durable checkpoint area: redo starts from the newest valid checkpoint
+// record (or the store-recorded checkpoint, whichever is later), so replay
+// is bounded by the checkpoint interval instead of total uptime. A nil ckpt
+// preserves the legacy store-checkpoint behaviour.
+func PolarRecv(clk *simclock.Clock, host *cxl.HostPort, region *simmem.Region, cache *simcpu.Cache, ws *wal.Store, store *storage.Store, ckpt *checkpoint.Area) (*core.CXLPool, *txn.Engine, *Result, error) {
+	res := &Result{Scheme: "polarrecv", StartNanos: clk.Now(), DurableLSN: ws.DurableLSN()}
+	ckptLSN, err := checkpointFor(clk, ws, ckpt)
+	if err != nil {
+		return nil, nil, res, err
+	}
+	res.CheckpointLSN = ckptLSN
 	pool, rep, err := core.Open(clk, host, region, cache, store)
 	if err != nil {
 		return nil, nil, res, err
@@ -264,9 +309,13 @@ func PolarRecv(clk *simclock.Clock, host *cxl.HostPort, region *simmem.Region, c
 	}
 	var a *analysis
 	if len(suspects) > 0 {
-		from := ws.CheckpointLSN() + 1
-		res.LogScanBytes = chargeLogScan(clk, ws, from)
-		a = analyze(ws, from)
+		from := ckptLSN + 1
+		if res.LogScanBytes, err = chargeLogScan(clk, ws, from); err != nil {
+			return nil, nil, res, err
+		}
+		if a, err = analyze(ws, from); err != nil {
+			return nil, nil, res, err
+		}
 		res.RedoRecords = a.records
 		for _, b := range suspects {
 			img := make([]byte, page.Size)
@@ -303,9 +352,13 @@ func PolarRecv(clk *simclock.Clock, host *cxl.HostPort, region *simmem.Region, c
 		}
 	} else {
 		// Even with nothing to rebuild, undo analysis needs the tail.
-		from := ws.CheckpointLSN() + 1
-		res.LogScanBytes = chargeLogScan(clk, ws, from)
-		a = analyze(ws, from)
+		from := ckptLSN + 1
+		if res.LogScanBytes, err = chargeLogScan(clk, ws, from); err != nil {
+			return nil, nil, res, err
+		}
+		if a, err = analyze(ws, from); err != nil {
+			return nil, nil, res, err
+		}
 		res.RedoRecords = a.records
 	}
 	var maxPage uint64

@@ -81,7 +81,7 @@ func (r *cxlRig) crashAndRecover(t *testing.T) (*core.CXLPool, *txn.Engine, *Res
 		t.Fatal(err)
 	}
 	cache2 := host2.NewCache("db0", 4<<20)
-	pool2, eng2, res, err := PolarRecv(clk2, host2, region2, cache2, r.ws, r.store)
+	pool2, eng2, res, err := PolarRecv(clk2, host2, region2, cache2, r.ws, r.store, nil)
 	if err != nil {
 		t.Fatalf("PolarRecv: %v", err)
 	}
@@ -564,14 +564,13 @@ func TestRecoveryAfterLogTruncation(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	// The log must have been truncated: records from round 0 are gone.
-	firstLSN := uint64(0)
-	r.ws.Iterate(1, func(rec wal.Record) bool {
-		firstLSN = rec.LSN
-		return false
-	})
-	if firstLSN <= 1 {
-		t.Fatalf("log never truncated: first durable LSN %d", firstLSN)
+	// The log must have been truncated: records from round 0 are gone, and
+	// scanning below the truncation point is a typed error now.
+	if tb := r.ws.TruncatedBefore(); tb <= 1 {
+		t.Fatalf("log never truncated: truncation point %d", tb)
+	}
+	if err := r.ws.Iterate(1, func(wal.Record) bool { return false }); !errors.Is(err, wal.ErrTruncated) {
+		t.Fatalf("Iterate(1) after truncation: %v, want ErrTruncated", err)
 	}
 	// Post-checkpoint committed work, uncommitted tail, crash, recover.
 	tx := r.eng.Begin(r.clk)

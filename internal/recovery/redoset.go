@@ -31,12 +31,26 @@ type RedoSet struct {
 	durable uint64
 }
 
-// ScanRedo charges one sequential scan of the durable log tail (from the
-// last checkpoint) and returns the per-page redo index.
-func ScanRedo(clk *simclock.Clock, ws *wal.Store) *RedoSet {
+// ScanRedo charges one sequential scan of the durable log tail — from the
+// last durable checkpoint, clamped up to the truncation point in case
+// checkpoint GC already discarded older history — and returns the per-page
+// redo index. The clamp is safe for EvictNode's purpose: truncation only
+// ever discards records below a published checkpoint, whose page effects
+// are already durable in storage, so the surviving tail plus the storage
+// base still reconstructs every committed image.
+func ScanRedo(clk *simclock.Clock, ws *wal.Store) (*RedoSet, error) {
 	from := ws.CheckpointLSN() + 1
-	chargeLogScan(clk, ws, from)
-	return &RedoSet{a: analyze(ws, from), durable: ws.DurableLSN()}
+	if tb := ws.TruncatedBefore(); tb > from {
+		from = tb
+	}
+	if _, err := chargeLogScan(clk, ws, from); err != nil {
+		return nil, err
+	}
+	a, err := analyze(ws, from)
+	if err != nil {
+		return nil, err
+	}
+	return &RedoSet{a: a, durable: ws.DurableLSN()}, nil
 }
 
 // Records reports how many page records the scan indexed.

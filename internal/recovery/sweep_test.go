@@ -172,7 +172,7 @@ func polarRecvSweepRun(plan *fault.Plan) error {
 		return err
 	}
 	cache2 := host2.NewCache("db0", sweepCacheB)
-	pool2, eng2, res, err := PolarRecv(clk2, host2, region2, cache2, ws, store)
+	pool2, eng2, res, err := PolarRecv(clk2, host2, region2, cache2, ws, store, nil)
 	if err != nil {
 		return fmt.Errorf("PolarRecv: %w", err)
 	}

@@ -87,7 +87,10 @@ func (f *Fusion) EvictNode(clk *simclock.Clock, node string) error {
 		}
 		if writeHeld {
 			if rs == nil && ws != nil {
-				rs = recovery.ScanRedo(clk, ws)
+				var serr error
+				if rs, serr = recovery.ScanRedo(clk, ws); serr != nil {
+					return serr
+				}
 			}
 			if err := f.reclaimWriteHeld(clk, ps, node, rs); err != nil {
 				return err

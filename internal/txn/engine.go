@@ -15,6 +15,7 @@ import (
 
 	"polarcxlmem/internal/btree"
 	"polarcxlmem/internal/buffer"
+	"polarcxlmem/internal/checkpoint"
 	"polarcxlmem/internal/flusher"
 	"polarcxlmem/internal/mtr"
 	"polarcxlmem/internal/simclock"
@@ -36,10 +37,11 @@ type Engine struct {
 
 	catalog *btree.Tree
 
-	// Commit pipeline (both opt-in; nil means the classic inline path, which
+	// Commit pipeline (all opt-in; nil means the classic inline path, which
 	// the deterministic fault sweeps depend on staying byte-identical).
 	gc atomic.Pointer[wal.GroupCommitter]
 	fl atomic.Pointer[flusher.Flusher]
+	cp atomic.Pointer[checkpoint.Checkpointer]
 
 	mu     sync.Mutex
 	tables map[string]*btree.Tree
@@ -88,14 +90,19 @@ func Attach(clk *simclock.Clock, pool buffer.Pool, log *wal.Log, store *storage.
 	}
 	e.catalog = cat
 	// Unit ids restart above anything in the durable log so compensation
-	// units never collide with logged ones.
+	// units never collide with logged ones. Scan from the truncation point:
+	// checkpoint GC may have discarded the log's oldest history, and unit
+	// ids only grow, so the surviving tail holds the maximum.
 	var maxUnit uint64
-	log.Store().Iterate(1, func(r wal.Record) bool {
+	st := log.Store()
+	if err := st.Iterate(st.TruncatedBefore(), func(r wal.Record) bool {
 		if r.Txn > maxUnit {
 			maxUnit = r.Txn
 		}
 		return true
-	})
+	}); err != nil {
+		return nil, fmt.Errorf("txn: attach log scan: %w", err)
+	}
 	e.ids.Bump(maxUnit)
 	return e, nil
 }
@@ -136,7 +143,22 @@ func (e *Engine) EnableBackgroundFlush(pol flusher.Policy) (*flusher.Flusher, er
 		return nil, fmt.Errorf("txn: pool %T does not support background flush", e.pool)
 	}
 	st := e.log.Store()
-	fl := flusher.New(tgt, pol, func() int64 { return st.BytesFrom(st.CheckpointLSN() + 1) })
+	fl := flusher.New(tgt, pol, func() int64 {
+		// The backlog floor is the later of the store-recorded checkpoint
+		// and the truncation point: fuzzy checkpoints record their LSN in
+		// the CXL checkpoint area (not the store) and truncate the tail one
+		// checkpoint behind, so the truncation point is the durable evidence
+		// of the floor. Reading from the floor never trips ErrTruncated.
+		floor := st.CheckpointLSN()
+		if tb := st.TruncatedBefore(); tb > floor+1 {
+			floor = tb - 1
+		}
+		n, err := st.BytesFrom(floor + 1)
+		if err != nil {
+			return 0 // unreachable: floor+1 >= truncation point by construction
+		}
+		return n
+	})
 	e.fl.Store(fl)
 	return fl, nil
 }
@@ -145,15 +167,43 @@ func (e *Engine) EnableBackgroundFlush(pol flusher.Policy) (*flusher.Flusher, er
 // writes happen inline only.
 func (e *Engine) Flusher() *flusher.Flusher { return e.fl.Load() }
 
-// commitUnit makes unit durable: tick the background flusher (if enabled),
-// then append the commit marker and force it — through the group committer
-// when enabled, else inline. The flusher tick runs BEFORE the marker append
-// on purpose: if an injected crash fires during background writeback, the
-// unit is still uncommitted, so crash-sweep shadow accounting stays exact.
+// EnableCheckpoints attaches a continuous fuzzy checkpointer driven from the
+// commit path: each commit ticks it (right after the background flusher's
+// tick), and when the virtual-time interval has elapsed and the flusher has
+// the dirty backlog below the policy watermark, it publishes a CXL-durable
+// checkpoint record to area and truncates the redo log behind the previous
+// checkpoint. Requires a pool with background-writeback support, like
+// EnableBackgroundFlush. Call once at setup; pair it with a flusher, or the
+// watermark may never be reached under write-heavy load.
+func (e *Engine) EnableCheckpoints(area *checkpoint.Area, pol checkpoint.Policy) (*checkpoint.Checkpointer, error) {
+	tgt, ok := e.pool.(flusher.Target)
+	if !ok {
+		return nil, fmt.Errorf("txn: pool %T does not support fuzzy checkpointing", e.pool)
+	}
+	cp := checkpoint.New(area, tgt, e.log, pol)
+	e.cp.Store(cp)
+	return cp, nil
+}
+
+// Checkpointer reports the engine's fuzzy checkpointer, or nil when only
+// explicit Checkpoint calls record checkpoints.
+func (e *Engine) Checkpointer() *checkpoint.Checkpointer { return e.cp.Load() }
+
+// commitUnit makes unit durable: tick the background flusher and the fuzzy
+// checkpointer (when enabled), then append the commit marker and force it —
+// through the group committer when enabled, else inline. Both daemon ticks
+// run BEFORE the marker append on purpose: if an injected crash fires during
+// background writeback or mid-checkpoint, the unit is still uncommitted, so
+// crash-sweep shadow accounting stays exact.
 func (e *Engine) commitUnit(clk *simclock.Clock, unit uint64) error {
 	if fl := e.fl.Load(); fl != nil {
 		if err := fl.Tick(clk); err != nil {
 			return fmt.Errorf("txn: background flush before commit of unit %d: %w", unit, err)
+		}
+	}
+	if cp := e.cp.Load(); cp != nil {
+		if err := cp.Tick(clk); err != nil {
+			return fmt.Errorf("txn: checkpoint before commit of unit %d: %w", unit, err)
 		}
 	}
 	rec := wal.Record{Kind: wal.KTxnCommit, Txn: unit}

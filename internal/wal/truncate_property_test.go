@@ -1,0 +1,166 @@
+package wal
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"polarcxlmem/internal/simclock"
+)
+
+// TestTruncatePrefixProperty: under any random interleaving of appends,
+// flushes and truncations, the store behaves like a log with a monotone
+// truncation point —
+//
+//   - every LSN at or above the truncation point is readable, in order,
+//     dense up to the durable LSN;
+//   - every scan starting below the truncation point fails with the typed
+//     ErrTruncated (and touches no records);
+//   - the truncation point only ever moves up, even when TruncateBefore is
+//     called with a lower LSN than a previous call.
+func TestTruncatePrefixProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		store := NewStore(0, 0)
+		log := Attach(store)
+		clk := simclock.New()
+		var appended uint64
+		for op := 0; op < 300; op++ {
+			switch rng.Intn(10) {
+			case 0, 1, 2, 3, 4: // append
+				log.Append(Record{Kind: KInsert, Page: uint64(rng.Intn(50))})
+				appended++
+			case 5, 6: // flush
+				log.Flush(clk)
+			default: // truncate at a random LSN — below, inside, or above the
+				// already-truncated range (TruncateBefore must tolerate all)
+				cut := uint64(rng.Int63n(int64(appended) + 2))
+				log.TruncateBefore(cut)
+			}
+			tb := store.TruncatedBefore()
+			if tb < 1 {
+				return false // truncation point below the first LSN ever
+			}
+			// Scan from the truncation point: dense, ascending, ending at the
+			// durable LSN (or empty when everything durable was truncated).
+			want := tb
+			ok := true
+			if err := store.Iterate(tb, func(r Record) bool {
+				if r.LSN != want {
+					ok = false
+					return false
+				}
+				want++
+				return true
+			}); err != nil || !ok {
+				return false
+			}
+			if d := store.DurableLSN(); d >= tb && want != d+1 {
+				return false // surviving tail not dense up to durable
+			}
+			// Scan from below the truncation point: typed error, no records.
+			if tb > 1 {
+				below := uint64(1 + rng.Int63n(int64(tb)-1))
+				touched := false
+				err := store.Iterate(below, func(Record) bool { touched = true; return true })
+				if !errors.Is(err, ErrTruncated) || touched {
+					return false
+				}
+				if _, err := store.BytesFrom(below); !errors.Is(err, ErrTruncated) {
+					return false
+				}
+			}
+			// Monotonicity: re-truncating at 0/1 must not move the point down.
+			log.TruncateBefore(1)
+			if store.TruncatedBefore() != tb {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentTruncateAndAppend exercises TruncateBefore racing appends,
+// flushes, and scans across 8 goroutines (run with -race). Invariants are
+// the weak ones that survive true concurrency: the truncation point is
+// monotone, scans from at-or-above the observed truncation point never see
+// an LSN below it, and scans from below it get ErrTruncated.
+func TestConcurrentTruncateAndAppend(t *testing.T) {
+	store := NewStore(0, 0)
+	log := Attach(store)
+	const workers, per = 8, 150
+	var maxCut atomic.Uint64
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			clk := simclock.New()
+			var lastTB uint64
+			for i := 0; i < per; i++ {
+				switch rng.Intn(4) {
+				case 0:
+					log.Append(Record{Kind: KInsert, Page: uint64(w)})
+				case 1:
+					log.Flush(clk)
+				case 2:
+					d := store.DurableLSN()
+					if d == 0 {
+						continue
+					}
+					cut := 1 + uint64(rng.Int63n(int64(d)))
+					// Track the highest cut ever requested; the store's point
+					// must end at least this high.
+					for {
+						cur := maxCut.Load()
+						if cut <= cur || maxCut.CompareAndSwap(cur, cut) {
+							break
+						}
+					}
+					log.TruncateBefore(cut)
+				default:
+					tb := store.TruncatedBefore()
+					if tb < lastTB {
+						errs <- errors.New("truncation point moved down")
+						return
+					}
+					lastTB = tb
+					if err := store.Iterate(tb, func(r Record) bool {
+						if r.LSN < tb {
+							errs <- errors.New("scan returned record below its from-LSN")
+							return false
+						}
+						return true
+					}); err != nil && !errors.Is(err, ErrTruncated) {
+						// A concurrent truncation may outrun the tb we read;
+						// any other error is a bug.
+						errs <- err
+						return
+					}
+					if tb > 1 {
+						if err := store.Iterate(tb-1, func(Record) bool { return true }); !errors.Is(err, ErrTruncated) {
+							errs <- errors.New("scan below truncation point did not return ErrTruncated")
+							return
+						}
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if tb := store.TruncatedBefore(); tb < maxCut.Load() {
+		t.Fatalf("final truncation point %d below highest requested cut %d", tb, maxCut.Load())
+	}
+}

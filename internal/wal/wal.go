@@ -10,12 +10,20 @@
 package wal
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
 
 	"polarcxlmem/internal/simclock"
 )
+
+// ErrTruncated reports a read below the log's truncation point: the records
+// requested were discarded by TruncateBefore and can never be served again.
+// Recovery paths that trip this have a checkpoint/truncation bookkeeping bug
+// — the invariant is that truncation never passes the previous durable
+// checkpoint, so a scan from any recorded checkpoint stays readable.
+var ErrTruncated = errors.New("wal: records truncated below requested LSN")
 
 // Kind enumerates redo record types.
 type Kind uint8
@@ -89,6 +97,18 @@ type Store struct {
 	records       []Record // ascending LSN
 	durableLSN    uint64
 	checkpointLSN uint64
+
+	// truncatedBefore is the lowest LSN still readable: every record below
+	// it was discarded by TruncateBefore. LSNs start at 1, so 1 means
+	// "nothing ever truncated".
+	truncatedBefore uint64
+
+	// open maps durable units (transactions and mini-transactions) that have
+	// records on the durable tail but no durable commit marker yet to the
+	// first LSN they logged. The fuzzy checkpointer's candidate LSN must stay
+	// below every open unit's first record so undo information is never
+	// truncated away.
+	open map[uint64]uint64
 }
 
 // Default log-device parameters: a PolarFS-class replicated log store.
@@ -106,7 +126,12 @@ func NewStore(bandwidth float64, fsyncNanos int64) *Store {
 	if fsyncNanos == 0 {
 		fsyncNanos = DefaultFsyncNanos
 	}
-	return &Store{bw: simclock.NewResource("wal-dev", bandwidth), fsync: fsyncNanos}
+	return &Store{
+		bw:              simclock.NewResource("wal-dev", bandwidth),
+		fsync:           fsyncNanos,
+		truncatedBefore: 1,
+		open:            make(map[uint64]uint64),
+	}
 }
 
 // persist appends recs (ascending LSN) durably, charging clk. The fsync
@@ -128,6 +153,22 @@ func (s *Store) persist(clk *simclock.Clock, recs []Record) {
 	s.records = append(s.records, recs...)
 	if last := recs[len(recs)-1].LSN; last > s.durableLSN {
 		s.durableLSN = last
+	}
+	// Open-unit bookkeeping: a unit opens at its first durable record and
+	// closes at its durable commit marker. Control records with no unit
+	// (checkpoints) are ignored.
+	for _, r := range recs {
+		if r.Txn == 0 {
+			continue
+		}
+		switch r.Kind {
+		case KTxnCommit, KMTRCommit:
+			delete(s.open, r.Txn)
+		default:
+			if _, ok := s.open[r.Txn]; !ok {
+				s.open[r.Txn] = r.LSN
+			}
+		}
 	}
 	s.mu.Unlock()
 }
@@ -158,37 +199,80 @@ func (s *Store) SetCheckpoint(clk *simclock.Clock, lsn uint64) {
 	s.mu.Unlock()
 }
 
+// OldestOpenLSN reports the first LSN of the oldest durable unit that has no
+// durable commit marker yet, and whether any such unit exists. The fuzzy
+// checkpointer caps its candidate LSN at (oldest open − 1): truncating at or
+// above an open unit's first record would destroy the before-images undo
+// needs if the host dies before the unit commits.
+func (s *Store) OldestOpenLSN() (uint64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var min uint64
+	for _, first := range s.open {
+		if min == 0 || first < min {
+			min = first
+		}
+	}
+	return min, min != 0
+}
+
 // Iterate calls fn for every durable record with LSN >= from, in LSN order,
 // stopping early if fn returns false. The caller charges scan I/O costs.
-func (s *Store) Iterate(from uint64, fn func(Record) bool) {
+// A from below the truncation point returns ErrTruncated (wrapped) without
+// calling fn: the requested prefix no longer exists, and serving a silently
+// shortened scan would corrupt recovery.
+func (s *Store) Iterate(from uint64, fn func(Record) bool) error {
+	if from < 1 {
+		from = 1
+	}
 	s.mu.Lock()
 	recs := s.records
+	trunc := s.truncatedBefore
 	s.mu.Unlock()
+	if from < trunc {
+		return fmt.Errorf("%w: LSN %d < truncation point %d", ErrTruncated, from, trunc)
+	}
 	i := sort.Search(len(recs), func(i int) bool { return recs[i].LSN >= from })
 	for ; i < len(recs); i++ {
 		if !fn(recs[i]) {
-			return
+			return nil
 		}
 	}
+	return nil
 }
 
 // BytesFrom reports the encoded size of all durable records with LSN >= from
-// (recovery charges this as sequential log-read I/O).
-func (s *Store) BytesFrom(from uint64) int64 {
+// (recovery charges this as sequential log-read I/O). Like Iterate, a from
+// below the truncation point returns ErrTruncated.
+func (s *Store) BytesFrom(from uint64) (int64, error) {
 	var n int64
-	s.Iterate(from, func(r Record) bool {
+	err := s.Iterate(from, func(r Record) bool {
 		n += r.EncodedSize()
 		return true
 	})
-	return n
+	return n, err
 }
 
-// TruncateBefore discards records below lsn (checkpoint garbage collection).
+// TruncateBefore discards records below lsn (checkpoint garbage collection)
+// and advances the truncation point; reads below it fail with ErrTruncated
+// from then on. The point is monotone — re-truncating lower is a no-op.
 func (s *Store) TruncateBefore(lsn uint64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if lsn > s.truncatedBefore {
+		s.truncatedBefore = lsn
+	}
 	i := sort.Search(len(s.records), func(i int) bool { return s.records[i].LSN >= lsn })
 	s.records = append([]Record(nil), s.records[i:]...)
+}
+
+// TruncatedBefore reports the lowest LSN still readable (1 when nothing was
+// ever truncated). Scans that must cover "everything the log still has"
+// start here, not at 1.
+func (s *Store) TruncatedBefore() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.truncatedBefore
 }
 
 // Device exposes the log bandwidth resource for stats.
@@ -264,6 +348,15 @@ func (l *Log) Flush(clk *simclock.Clock) {
 	l.buf = nil
 	l.mu.Unlock()
 	l.store.persist(clk, recs)
+}
+
+// TruncateBefore discards durable records below lsn — the host-side face of
+// checkpoint garbage collection. Only the durable tail is affected; buffered
+// (unflushed) records all carry LSNs above the durable tail and ride along
+// untouched. Safe to call concurrently with Append and Flush: the store
+// locks its record slice, and the truncation point only ever rises.
+func (l *Log) TruncateBefore(lsn uint64) {
+	l.store.TruncateBefore(lsn)
 }
 
 // Store exposes the durable store (recovery needs it after the Log died).

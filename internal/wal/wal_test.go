@@ -1,6 +1,7 @@
 package wal
 
 import (
+	"errors"
 	"testing"
 
 	"polarcxlmem/internal/simclock"
@@ -79,8 +80,8 @@ func TestIterateFromMidpointAndBytes(t *testing.T) {
 		t.Fatalf("iterate from 6: %v", got)
 	}
 	perRec := Record{Kind: KInsert, Value: make([]byte, 10)}.EncodedSize()
-	if s.BytesFrom(6) != 5*perRec {
-		t.Fatalf("bytesFrom(6) = %d", s.BytesFrom(6))
+	if n, err := s.BytesFrom(6); err != nil || n != 5*perRec {
+		t.Fatalf("bytesFrom(6) = %d, %v", n, err)
 	}
 	// Early stop.
 	count := 0
@@ -110,14 +111,26 @@ func TestCheckpointAndTruncate(t *testing.T) {
 		t.Fatal("checkpoint regressed")
 	}
 	s.TruncateBefore(5)
+	if tb := s.TruncatedBefore(); tb != 5 {
+		t.Fatalf("truncatedBefore = %d, want 5", tb)
+	}
+	// Reads below the truncation point are loud, not silently shortened.
+	if err := s.Iterate(1, func(Record) bool { return true }); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("iterate below truncation: err = %v, want ErrTruncated", err)
+	}
+	if _, err := s.BytesFrom(4); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("bytesFrom below truncation: err = %v, want ErrTruncated", err)
+	}
 	count := 0
-	s.Iterate(1, func(r Record) bool {
+	if err := s.Iterate(5, func(r Record) bool {
 		if r.LSN < 5 {
 			t.Fatalf("truncated record %d survived", r.LSN)
 		}
 		count++
 		return true
-	})
+	}); err != nil {
+		t.Fatal(err)
+	}
 	if count != 6 {
 		t.Fatalf("after truncate: %d records", count)
 	}

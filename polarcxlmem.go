@@ -50,6 +50,7 @@ import (
 	"fmt"
 
 	"polarcxlmem/internal/btree"
+	"polarcxlmem/internal/checkpoint"
 	"polarcxlmem/internal/core"
 	"polarcxlmem/internal/cxl"
 	"polarcxlmem/internal/fault"
@@ -140,6 +141,16 @@ type InstanceConfig struct {
 	// paying inline write-back, at the cost of flusher ticks on the commit
 	// path. Survives crash/recovery (re-applied by Cluster.Recover).
 	BackgroundFlush *flusher.Policy
+	// Checkpoint, when non-nil, enables continuous fuzzy checkpointing with
+	// this policy (zero value = defaults): a 128-byte CXL-durable checkpoint
+	// area is allocated next to the buffer pool, the checkpointer publishes
+	// a checkpoint LSN each interval once the flusher has the dirty backlog
+	// below the watermark, and the redo log is truncated behind the previous
+	// checkpoint — bounding both recovery time and log size. Implies a
+	// background flusher (a default one is enabled when BackgroundFlush is
+	// nil). Survives crash/recovery: Cluster.Recover starts redo from the
+	// checkpoint area and re-arms the checkpointer.
+	Checkpoint *checkpoint.Policy
 }
 
 // Cluster is a rack of CXL switch domains — each a switch plus its memory
@@ -222,6 +233,7 @@ type Instance struct {
 	clk     *simclock.Clock
 	pool    *core.CXLPool
 	eng     *txn.Engine
+	ckpt    *checkpoint.Area // nil unless InstanceConfig.Checkpoint set
 	crashed bool
 }
 
@@ -268,6 +280,19 @@ func (c *Cluster) Start(cfg InstanceConfig) (*Instance, error) {
 		return nil, err
 	}
 	inst := &Instance{name: cfg.Name, cluster: c, clk: clk, pool: pool, eng: eng}
+	if cfg.Checkpoint != nil {
+		// The checkpoint record lives in its own tiny CXL region on the same
+		// switch domain as the buffer pool, so it survives host crashes with
+		// the pool and is reattachable by name on Recover.
+		ckReg, err := host.Allocate(clk, cfg.Name+"-ckpt", checkpoint.AreaSize)
+		if err != nil {
+			return nil, err
+		}
+		inst.ckpt, err = checkpoint.NewArea(ckReg)
+		if err != nil {
+			return nil, err
+		}
+	}
 	if err := c.applyInstanceOptions(inst, cfg); err != nil {
 		return nil, err
 	}
@@ -289,13 +314,31 @@ func (c *Cluster) applyInstanceOptions(inst *Instance, cfg InstanceConfig) error
 			gc.SetObserver(c.reg)
 		}
 	}
-	if cfg.BackgroundFlush != nil {
-		fl, err := inst.eng.EnableBackgroundFlush(*cfg.BackgroundFlush)
+	flushPol := cfg.BackgroundFlush
+	if flushPol == nil && cfg.Checkpoint != nil {
+		// Fuzzy checkpoints need a flusher to drain the dirty backlog below
+		// the watermark; default one in when the config omitted it.
+		flushPol = &flusher.Policy{}
+	}
+	if flushPol != nil {
+		fl, err := inst.eng.EnableBackgroundFlush(*flushPol)
 		if err != nil {
 			return err
 		}
 		if c.reg != nil {
 			fl.SetObserver(c.reg)
+		}
+	}
+	if cfg.Checkpoint != nil {
+		if inst.ckpt == nil {
+			return fmt.Errorf("polarcxlmem: instance %q has no checkpoint area", inst.name)
+		}
+		cp, err := inst.eng.EnableCheckpoints(inst.ckpt, *cfg.Checkpoint)
+		if err != nil {
+			return err
+		}
+		if c.reg != nil {
+			cp.SetObserver(c.reg)
 		}
 	}
 	return nil
@@ -334,11 +377,21 @@ func (c *Cluster) Recover(name string) (*Instance, *recovery.Result, error) {
 		return nil, nil, err
 	}
 	cache := host.NewCache(name, cfg.CacheBytes)
-	pool, eng, res, err := recovery.PolarRecv(clk, host, region, cache, c.wals[name], c.stores[name])
+	var area *checkpoint.Area
+	if cfg.Checkpoint != nil {
+		ckReg, err := host.Reattach(clk, name+"-ckpt")
+		if err != nil {
+			return nil, nil, err
+		}
+		if area, err = checkpoint.NewArea(ckReg); err != nil {
+			return nil, nil, err
+		}
+	}
+	pool, eng, res, err := recovery.PolarRecv(clk, host, region, cache, c.wals[name], c.stores[name], area)
 	if err != nil {
 		return nil, nil, err
 	}
-	inst := &Instance{name: name, cluster: c, clk: clk, pool: pool, eng: eng}
+	inst := &Instance{name: name, cluster: c, clk: clk, pool: pool, eng: eng, ckpt: area}
 	if err := c.applyInstanceOptions(inst, cfg); err != nil {
 		return nil, nil, err
 	}
@@ -376,6 +429,10 @@ func (i *Instance) Engine() *txn.Engine { return i.eng }
 
 // Pool exposes the CXL buffer pool (stats, diagnostics).
 func (i *Instance) Pool() *core.CXLPool { return i.pool }
+
+// CheckpointArea exposes the CXL-durable checkpoint record, or nil when the
+// instance was started without InstanceConfig.Checkpoint.
+func (i *Instance) CheckpointArea() *checkpoint.Area { return i.ckpt }
 
 func (i *Instance) alive() error {
 	if i.crashed {
