@@ -130,6 +130,17 @@ const (
 	FabricBandwidth = 2e12
 	// HostLinkBandwidth is a host's x16 CXL/PCIe5 link (~64 GB/s raw).
 	HostLinkBandwidth = 64e9
+	// SpineBandwidth is the spine crossbar's switching capacity in a
+	// multi-switch topology — another XC50256-class box.
+	SpineBandwidth = FabricBandwidth
+	// InterSwitchBandwidth is one leaf<->spine trunk: an x16 CXL cable, the
+	// same rate class as a host link.
+	InterSwitchBandwidth = HostLinkBandwidth
+	// InterSwitchNanos is the extra propagation + forwarding latency per
+	// additional switch traversal, calibrated from Table 1: one switch in
+	// the path raises the load latency from 265 ns (direct-attached) to
+	// 549 ns, so each further switch hop adds the same 284 ns.
+	InterSwitchNanos = SwitchLocalLatency - NoSwitchLocalLatency
 	// DefaultPoolBytes sizes the memory box. The physical prototype pools up
 	// to 16 TB; simulations size it to the working set.
 	DefaultPoolBytes = 1 << 30

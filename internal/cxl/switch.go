@@ -9,167 +9,93 @@ import (
 	"polarcxlmem/internal/simclock"
 	"polarcxlmem/internal/simcpu"
 	"polarcxlmem/internal/simmem"
-	"polarcxlmem/internal/simnet"
 )
 
-// Config parameterizes a switch deployment.
+// Config parameterizes a single-switch deployment: one leaf, one memory box,
+// no spine. Multi-switch deployments use TopologyConfig directly.
 type Config struct {
-	PoolBytes      int64   // memory-box capacity; 0 = DefaultPoolBytes
-	FabricBW       float64 // switch fabric bytes/s; 0 = FabricBandwidth
-	HostLinkBW     float64 // per-host link bytes/s; 0 = HostLinkBandwidth
-	RPCNanos       int64   // manager RPC round trip; 0 = ManagerRPCNanos
-	Profile        simmem.Profile
-	profileSet     bool // distinguish zero Profile from explicit one
-	DisableProfile bool // internal/testing only
+	PoolBytes  int64   // memory-box capacity; 0 = DefaultPoolBytes
+	FabricBW   float64 // switch fabric bytes/s; 0 = FabricBandwidth
+	HostLinkBW float64 // per-host link bytes/s; 0 = HostLinkBandwidth
+	RPCNanos   int64   // manager RPC round trip; 0 = ManagerRPCNanos
+	Profile    simmem.Profile
 }
 
-func (c Config) withDefaults() Config {
-	if c.PoolBytes == 0 {
-		c.PoolBytes = DefaultPoolBytes
-	}
-	if c.FabricBW == 0 {
-		c.FabricBW = FabricBandwidth
-	}
-	if c.HostLinkBW == 0 {
-		c.HostLinkBW = HostLinkBandwidth
-	}
-	if c.RPCNanos == 0 {
-		c.RPCNanos = ManagerRPCNanos
-	}
-	if c.Profile.Name == "" {
-		c.Profile = SwitchProfile()
-	}
-	return c
-}
-
-// Switch is one CXL 2.0 switch plus its memory box. The memory device and
-// the manager's allocation state live here, powered independently of any
-// host: a host crash never disturbs them (§3.2).
+// Switch is the single-switch view over one leaf of a Topology: the legacy
+// API every single-fabric deployment uses. The leaf's memory device and the
+// manager's allocation state live on the topology, powered independently of
+// any host: a host crash never disturbs them (§3.2).
 type Switch struct {
-	cfg    Config
-	dev    *simmem.Device
-	fabric *simclock.Resource
-	rpc    *simnet.Fabric
-	mgr    *Manager
-
-	mu    sync.Mutex
-	hosts map[string]*HostPort
-	inj   fault.Injector // optional fault injector; may be nil
-	reg   *obs.Registry  // optional metrics sink; re-applied to new hosts
+	leaf *Leaf
 }
 
-// NewSwitch builds a switch with cfg (zero fields get calibrated defaults).
+// NewSwitch builds a one-leaf topology with cfg (zero fields get calibrated
+// defaults) and returns its switch view.
 func NewSwitch(cfg Config) *Switch {
-	cfg = cfg.withDefaults()
-	fabric := simclock.NewResource("cxl-fabric", cfg.FabricBW)
-	dev := simmem.NewDevice("cxl-pool", cfg.PoolBytes, cfg.Profile, fabric)
-	s := &Switch{
-		cfg:    cfg,
-		dev:    dev,
-		fabric: fabric,
-		rpc:    simnet.New(cfg.RPCNanos, nil),
-		hosts:  make(map[string]*HostPort),
-	}
-	s.mgr = newManager(s.dev)
-	s.mgr.register(s.rpc)
-	return s
+	t := NewTopology(TopologyConfig{
+		Leaves:     1,
+		PoolBytes:  cfg.PoolBytes,
+		LeafBW:     cfg.FabricBW,
+		HostLinkBW: cfg.HostLinkBW,
+		RPCNanos:   cfg.RPCNanos,
+		Profile:    cfg.Profile,
+	})
+	return t.Switch(0)
 }
+
+// Topology exposes the fabric this switch is a leaf of.
+func (s *Switch) Topology() *Topology { return s.leaf.topo }
+
+// Leaf exposes the underlying leaf.
+func (s *Switch) Leaf() *Leaf { return s.leaf }
 
 // Device exposes the pooled memory device (diagnostics, recovery scans).
-func (s *Switch) Device() *simmem.Device { return s.dev }
+func (s *Switch) Device() *simmem.Device { return s.leaf.box.dev }
 
-// FabricStats reports traffic through the switch fabric.
-func (s *Switch) FabricStats() simclock.ResourceStats { return s.fabric.Stats() }
+// FabricStats reports traffic through this leaf's switch fabric.
+func (s *Switch) FabricStats() simclock.ResourceStats { return s.leaf.fabric.Stats() }
 
-// ResetStats clears fabric and link accounting between experiment phases.
-func (s *Switch) ResetStats() {
-	s.fabric.Reset()
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for _, h := range s.hosts {
-		h.link.Reset()
-	}
-}
+// ResetStats clears accounting between experiment phases: this topology's
+// fabrics, trunks, host links, and the manager RPC fabrics.
+func (s *Switch) ResetStats() { s.leaf.topo.ResetStats() }
 
 // Manager exposes the memory manager (direct, non-RPC access for tools).
-func (s *Switch) Manager() *Manager { return s.mgr }
+func (s *Switch) Manager() *Manager { return s.leaf.box.mgr }
 
 // SetInjector installs (or, with nil, removes) the fault injector consulted
-// at the switch's host attach/detach points (HostPort Allocate, Reattach,
+// at the topology's host attach/detach points (HostPort Allocate, Reattach,
 // Release). Injection on the pooled memory itself is installed separately
 // via Device().SetInjector, so recovery code can keep the region healthy
 // while region-mapping RPCs fail, or vice versa.
-func (s *Switch) SetInjector(inj fault.Injector) {
-	s.mu.Lock()
-	s.inj = inj
-	s.mu.Unlock()
-}
+func (s *Switch) SetInjector(inj fault.Injector) { s.leaf.topo.SetInjector(inj) }
 
-func (s *Switch) injector() fault.Injector {
-	s.mu.Lock()
-	inj := s.inj
-	s.mu.Unlock()
-	return inj
-}
+// SetObserver threads reg through the topology's substrates; see
+// Topology.SetObserver for the metric inventory.
+func (s *Switch) SetObserver(reg *obs.Registry) { s.leaf.topo.SetObserver(reg) }
 
-// SetObserver threads reg through the switch's substrates: the pooled
-// memory device (mem.cxl-pool.* counters), the manager RPC fabric
-// (simnet.*), the switch fabric's queueing waits (cxl.fabric.wait_ns), and
-// every host link — attached now or later — into one shared
-// cxl.link.wait_ns histogram. A nil reg detaches the device and RPC metrics
-// and stops new hosts being instrumented (already-installed link observers
-// stay, inert only if their histogram came from a live registry).
-func (s *Switch) SetObserver(reg *obs.Registry) {
-	s.dev.SetObserver(reg)
-	s.rpc.SetObserver(reg)
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.reg = reg
-	if reg == nil {
-		s.fabric.SetWaitObserver(nil)
-		return
-	}
-	fh := reg.Histogram("cxl.fabric.wait_ns")
-	s.fabric.SetWaitObserver(func(w int64) { fh.Observe(w) })
-	lh := reg.Histogram("cxl.link.wait_ns")
-	for _, h := range s.hosts {
-		h.link.SetWaitObserver(func(w int64) { lh.Observe(w) })
-	}
-}
-
-func (s *Switch) portPoint(op fault.Op) error {
-	if inj := s.injector(); inj != nil {
-		return inj.Point(op, 0)
-	}
-	return nil
-}
-
-// AttachHost connects a host to the switch, creating its x16 link. Attaching
-// an already-attached name returns the existing port (reconnect after crash).
+// AttachHost connects a host to this leaf, creating its x16 link. Attaching
+// an already-attached name returns the existing port (reconnect after
+// crash). It panics on a misconfigured topology (port capacity exhausted);
+// capacity-aware callers use Topology.AttachHost, which returns the error.
 func (s *Switch) AttachHost(name string) *HostPort {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if h, ok := s.hosts[name]; ok {
-		return h
+	h, err := s.leaf.topo.AttachHost(name, s.leaf.idx)
+	if err != nil {
+		panic(err)
 	}
-	h := &HostPort{
-		name: name,
-		sw:   s,
-		link: simclock.NewResource("cxl-link/"+name, s.cfg.HostLinkBW),
-	}
-	if s.reg != nil {
-		lh := s.reg.Histogram("cxl.link.wait_ns")
-		h.link.SetWaitObserver(func(w int64) { lh.Observe(w) })
-	}
-	s.hosts[name] = h
 	return h
 }
 
-// HostPort is one host's attachment to the switch.
+// HostPort is one host's attachment to a leaf switch. Its allocations live
+// on a home memory box — its own leaf's box by default, or another leaf's
+// when placed with AllocateOn — and every data transfer charges the full
+// route between the host and that box.
 type HostPort struct {
 	name string
-	sw   *Switch
+	leaf *Leaf // attachment point
 	link *simclock.Resource
+
+	mu   sync.Mutex
+	home *Leaf // the box this host's allocations target
 }
 
 // Name reports the host name.
@@ -178,65 +104,174 @@ func (h *HostPort) Name() string { return h.name }
 // Link exposes the host's CXL link resource (for cache wiring and stats).
 func (h *HostPort) Link() *simclock.Resource { return h.link }
 
+// Leaf reports the leaf switch the host is attached to.
+func (h *HostPort) Leaf() *Leaf { return h.leaf }
+
+// HomeLeaf reports the leaf whose memory box holds the host's allocations.
+func (h *HostPort) HomeLeaf() *Leaf {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.home
+}
+
+func (h *HostPort) setHome(l *Leaf) {
+	h.mu.Lock()
+	h.home = l
+	h.mu.Unlock()
+}
+
+// crossHops charges the extra switch-side hops a cross-leaf access pays
+// beyond the single-switch route: the attachment leaf's crossbar, the uplink
+// to the spine, the spine crossbar, and the downlink into the home leaf —
+// each trunk traversal adding the calibrated per-switch latency. Intra-leaf
+// accesses charge nothing here, preserving the single-switch cost model
+// exactly.
+func (h *HostPort) crossHops(clk *simclock.Clock, home *Leaf, n int64) {
+	if home == h.leaf {
+		return
+	}
+	h.leaf.fabric.Use(clk, n)
+	h.leaf.uplink.Use(clk, n)
+	h.leaf.topo.spine.Use(clk, n)
+	home.uplink.Use(clk, n)
+}
+
+// hostDataPath charges the host-side data route at Use time: the host's x16
+// link always, plus the cross-leaf hops when the host's home box is on
+// another leaf. The home-box crossbar itself is charged by the device access
+// (the device's bandwidth resource), so the two compose into the full route.
+type hostDataPath struct{ h *HostPort }
+
+func (p hostDataPath) Use(clk *simclock.Clock, n int64) {
+	p.h.link.Use(clk, n)
+	p.h.crossHops(clk, p.h.HomeLeaf(), n)
+}
+
+// hostFabricPath charges only the switch-side cross-leaf hops — no host
+// link. Direct flag-word loads/stores already pay the device profile (which
+// models the local path); a node on another leaf additionally pays the
+// trunk/spine route through this path. Intra-leaf it charges nothing.
+type hostFabricPath struct{ h *HostPort }
+
+func (p hostFabricPath) Use(clk *simclock.Clock, n int64) {
+	p.h.crossHops(clk, p.h.HomeLeaf(), n)
+}
+
+// Interconnect is a charged transport (cxl.Path-style): both path flavours
+// and *simclock.Resource satisfy it.
+type Interconnect interface {
+	Use(clk *simclock.Clock, units int64)
+}
+
+// DataPath returns the host's CPU<->home-box data interconnect (link plus
+// any cross-leaf hops), resolved against the home leaf at each Use.
+func (h *HostPort) DataPath() Interconnect { return hostDataPath{h} }
+
+// FabricPath returns the switch-side-only interconnect for direct CXL
+// word accesses (coherency flags): free intra-leaf, trunk+spine cost when
+// the host's home box is on another leaf.
+func (h *HostPort) FabricPath() Interconnect { return hostFabricPath{h} }
+
 // NewCache builds a CPU cache for a database node on this host, wired to
-// charge the host link on fills and write-backs.
+// charge the host's data route on fills and write-backs.
 func (h *HostPort) NewCache(node string, capacityBytes int64) *simcpu.Cache {
 	c := simcpu.New(node, capacityBytes, 5)
-	c.SetLink(h.link)
+	c.SetInterconnect(hostDataPath{h})
 	return c
 }
 
-// Allocate requests size bytes of pooled CXL memory for client via the
-// manager RPC and returns a bounds-checked region. One RPC at startup, as in
-// the paper.
+// rpcCall issues a manager control-plane RPC against leaf's box. Control
+// traffic rides Ethernet to the box controller (§3.1), not the CXL fabric,
+// so no fabric-path cost applies regardless of placement.
+func (h *HostPort) rpcCall(clk *simclock.Clock, leaf *Leaf, method string, req any) (any, error) {
+	return leaf.box.rpc.Call(clk, mgrEndpoint, method, 64, req)
+}
+
+// Allocate requests size bytes of pooled CXL memory for client from the
+// host's home box via the manager RPC and returns a bounds-checked region.
+// One RPC at startup, as in the paper.
 func (h *HostPort) Allocate(clk *simclock.Clock, client string, size int64) (*simmem.Region, error) {
-	if err := h.sw.portPoint(fault.OpHostAttach); err != nil {
+	return h.AllocateOn(clk, h.HomeLeaf().idx, client, size)
+}
+
+// AllocateOn places client's allocation on leaf's memory box and makes that
+// box the host's home: subsequent allocations, transfers, and cache traffic
+// route there (paying trunk+spine cost when it is not the attachment leaf).
+func (h *HostPort) AllocateOn(clk *simclock.Clock, leaf int, client string, size int64) (*simmem.Region, error) {
+	t := h.leaf.topo
+	if leaf < 0 || leaf >= len(t.leaves) {
+		return nil, fmt.Errorf("cxl: allocate %q: no leaf %d (topology has %d)", client, leaf, len(t.leaves))
+	}
+	if err := t.portPoint(fault.OpHostAttach); err != nil {
 		return nil, err
 	}
-	resp, err := h.sw.rpc.Call(clk, mgrEndpoint, "alloc", 64, allocReq{Client: client, Size: size})
+	target := t.leaves[leaf]
+	resp, err := h.rpcCall(clk, target, "alloc", allocReq{Client: client, Size: size})
 	if err != nil {
 		return nil, err
 	}
+	h.setHome(target)
 	off := resp.(int64)
-	return h.sw.dev.Region(off, size)
+	return target.box.dev.Region(off, size)
 }
 
-// Reattach recovers the region previously allocated to client — the restart
-// path after a host crash: the manager's lease state survived on the switch
-// controller, so the new process maps the same offset and finds its buffer
-// pool intact.
+// Reattach recovers the region previously allocated to client from the
+// host's home box — the restart path after a host crash: the manager's
+// lease state survived on the box controller, so the new process maps the
+// same offset and finds its buffer pool intact.
 func (h *HostPort) Reattach(clk *simclock.Clock, client string) (*simmem.Region, error) {
-	if err := h.sw.portPoint(fault.OpHostAttach); err != nil {
+	return h.ReattachOn(clk, h.HomeLeaf().idx, client)
+}
+
+// ReattachOn recovers client's region from leaf's memory box and makes that
+// box the host's home (the cross-leaf restart path).
+func (h *HostPort) ReattachOn(clk *simclock.Clock, leaf int, client string) (*simmem.Region, error) {
+	t := h.leaf.topo
+	if leaf < 0 || leaf >= len(t.leaves) {
+		return nil, fmt.Errorf("cxl: reattach %q: no leaf %d (topology has %d)", client, leaf, len(t.leaves))
+	}
+	if err := t.portPoint(fault.OpHostAttach); err != nil {
 		return nil, err
 	}
-	resp, err := h.sw.rpc.Call(clk, mgrEndpoint, "reattach", 64, client)
+	target := t.leaves[leaf]
+	resp, err := h.rpcCall(clk, target, "reattach", client)
 	if err != nil {
 		return nil, err
 	}
-	lease := resp.(lease)
-	return h.sw.dev.Region(lease.off, lease.size)
+	h.setHome(target)
+	l := resp.(lease)
+	return target.box.dev.Region(l.off, l.size)
 }
 
-// Release frees client's allocation.
+// Release frees client's allocation on the host's home box.
 func (h *HostPort) Release(clk *simclock.Clock, client string) error {
-	if err := h.sw.portPoint(fault.OpHostDetach); err != nil {
+	if err := h.leaf.topo.portPoint(fault.OpHostDetach); err != nil {
 		return err
 	}
-	_, err := h.sw.rpc.Call(clk, mgrEndpoint, "free", 64, client)
+	_, err := h.rpcCall(clk, h.HomeLeaf(), "free", client)
 	return err
 }
 
-// transfer charges a calibrated bulk copy: the table value already includes
-// transfer time, so the link/fabric service portions are subtracted from
-// the fixed latency — an uncontended copy costs exactly the Table 2 value,
-// while concurrent copies queue on the shared links.
+// transfer charges a calibrated bulk copy between host DRAM and the home
+// box: the table value already includes transfer time, so the link/fabric
+// service portions are subtracted from the fixed latency — an uncontended
+// intra-leaf copy costs exactly the Table 2 value, while concurrent copies
+// queue on the shared links. A cross-leaf copy additionally pays the
+// attachment crossbar, both trunks (with per-switch latency), and the spine.
 func (h *HostPort) transfer(clk *simclock.Clock, tab *simmem.LatencyTable, n int64) {
-	fixed := tab.Cost(n) - h.link.ServiceTime(n) - h.sw.fabric.ServiceTime(n)
+	home := h.HomeLeaf()
+	fixed := tab.Cost(n) - h.link.ServiceTime(n) - home.fabric.ServiceTime(n)
 	if fixed > 0 {
 		clk.Advance(fixed)
 	}
+	// The home crossbar is charged before the trunk hops: resources queue in
+	// call order, so charging it after a deeply queued trunk would stamp the
+	// crossbar's next-free time with the trunk's backlog and drag unrelated
+	// intra-leaf traffic behind it. Charging bandwidth at the issue-side time
+	// keeps crossbar arrivals causal; the stream itself still pays every hop.
 	h.link.Use(clk, n)
-	h.sw.fabric.Use(clk, n)
+	home.fabric.Use(clk, n)
+	h.crossHops(clk, home, n)
 }
 
 // TransferRead charges the calibrated bulk CXL->DRAM copy cost (Table 2)

@@ -1,0 +1,327 @@
+package cxl
+
+import (
+	"fmt"
+	"sync"
+
+	"polarcxlmem/internal/fault"
+	"polarcxlmem/internal/obs"
+	"polarcxlmem/internal/simclock"
+	"polarcxlmem/internal/simmem"
+	"polarcxlmem/internal/simnet"
+)
+
+// TopologyConfig declares a leaf/spine CXL fabric. The zero value (or
+// Leaves <= 1) is a single-switch deployment identical to the pre-topology
+// Switch: one leaf, one memory box, no spine, no inter-switch links.
+type TopologyConfig struct {
+	// Leaves is the number of leaf switches, each with its own memory box.
+	// 0 or 1 = single switch (no spine tier is built).
+	Leaves int
+	// HostsPerLeaf caps host attachments per leaf switch (port count).
+	// 0 = unbounded.
+	HostsPerLeaf int
+	// PoolBytes is each leaf's memory-box capacity; 0 = DefaultPoolBytes.
+	PoolBytes int64
+	// LeafBW is each leaf switch's crossbar capacity in bytes/s;
+	// 0 = FabricBandwidth (the XConn XC50256 rate).
+	LeafBW float64
+	// SpineBW is the spine crossbar capacity; 0 = SpineBandwidth.
+	SpineBW float64
+	// InterSwitchBW is each leaf<->spine trunk's bandwidth; 0 =
+	// InterSwitchBandwidth.
+	InterSwitchBW float64
+	// InterSwitchNanos is the extra propagation+forwarding latency per
+	// additional switch traversal; 0 = the calibrated InterSwitchNanos.
+	InterSwitchNanos int64
+	// HostLinkBW is each host's x16 link bandwidth; 0 = HostLinkBandwidth.
+	HostLinkBW float64
+	// RPCNanos is the manager control-plane RPC round trip; 0 =
+	// ManagerRPCNanos.
+	RPCNanos int64
+	// Profile is the memory-box device timing; zero Name = SwitchProfile.
+	Profile simmem.Profile
+}
+
+func (c TopologyConfig) withDefaults() TopologyConfig {
+	if c.Leaves <= 0 {
+		c.Leaves = 1
+	}
+	if c.PoolBytes == 0 {
+		c.PoolBytes = DefaultPoolBytes
+	}
+	if c.LeafBW == 0 {
+		c.LeafBW = FabricBandwidth
+	}
+	if c.SpineBW == 0 {
+		c.SpineBW = SpineBandwidth
+	}
+	if c.InterSwitchBW == 0 {
+		c.InterSwitchBW = InterSwitchBandwidth
+	}
+	if c.InterSwitchNanos == 0 {
+		c.InterSwitchNanos = InterSwitchNanos
+	}
+	if c.HostLinkBW == 0 {
+		c.HostLinkBW = HostLinkBandwidth
+	}
+	if c.RPCNanos == 0 {
+		c.RPCNanos = ManagerRPCNanos
+	}
+	if c.Profile.Name == "" {
+		c.Profile = SwitchProfile()
+	}
+	return c
+}
+
+// MemoryBox is one pooled memory unit behind a leaf switch: the device, its
+// allocation manager, and the manager's control-plane RPC fabric. Boxes are
+// powered independently of any host, so their contents and lease state
+// survive host crashes (§3.2).
+type MemoryBox struct {
+	dev *simmem.Device
+	mgr *Manager
+	rpc *simnet.Fabric
+}
+
+// Device exposes the box's pooled memory device.
+func (b *MemoryBox) Device() *simmem.Device { return b.dev }
+
+// Manager exposes the box's memory manager (direct, non-RPC access).
+func (b *MemoryBox) Manager() *Manager { return b.mgr }
+
+// InterSwitchLink is one leaf<->spine trunk: a bandwidth resource plus the
+// fixed per-traversal switch-forwarding latency.
+type InterSwitchLink struct {
+	res *simclock.Resource
+	lat int64
+}
+
+// Resource exposes the trunk's queueing resource (stats, wait observers).
+func (l *InterSwitchLink) Resource() *simclock.Resource { return l.res }
+
+// Use charges one traversal of the trunk: the fixed forwarding latency plus
+// n bytes of trunk bandwidth (queueing behind concurrent traversals).
+func (l *InterSwitchLink) Use(clk *simclock.Clock, n int64) {
+	clk.Advance(l.lat)
+	l.res.Use(clk, n)
+}
+
+// Leaf is one leaf switch: its crossbar fabric, its memory box, and (in a
+// multi-leaf topology) its uplink to the spine.
+type Leaf struct {
+	topo   *Topology
+	idx    int
+	fabric *simclock.Resource
+	box    *MemoryBox
+	uplink *InterSwitchLink // nil in a single-leaf topology
+}
+
+// Index reports the leaf's position in the topology.
+func (l *Leaf) Index() int { return l.idx }
+
+// Box exposes the leaf's memory box.
+func (l *Leaf) Box() *MemoryBox { return l.box }
+
+// Fabric exposes the leaf's crossbar resource.
+func (l *Leaf) Fabric() *simclock.Resource { return l.fabric }
+
+// Uplink exposes the leaf's trunk to the spine (nil when single-leaf).
+func (l *Leaf) Uplink() *InterSwitchLink { return l.uplink }
+
+// Topology is a composable leaf/spine CXL fabric: hosts attach to leaf
+// switches over x16 links, each leaf fronts a memory box, and leaves connect
+// through a spine crossbar over inter-switch trunks. A transfer charges
+// every component on its route — host link, attachment-leaf crossbar,
+// both trunks and the spine when the target box is on another leaf, and the
+// box leaf's crossbar — so congestion appears wherever the route saturates.
+type Topology struct {
+	cfg    TopologyConfig
+	leaves []*Leaf
+	spine  *simclock.Resource // nil for single-leaf topologies
+
+	mu    sync.Mutex
+	hosts map[string]*HostPort
+	inj   fault.Injector // optional fault injector; may be nil
+	reg   *obs.Registry  // optional metrics sink; re-applied to new hosts
+}
+
+// NewTopology builds the fabric declared by cfg (zero fields get calibrated
+// defaults). Single-leaf topologies keep the legacy resource names
+// ("cxl-pool", "cxl-fabric") so existing metrics and replay sequences are
+// unchanged; multi-leaf topologies suffix per-leaf components with /leaf<i>.
+func NewTopology(cfg TopologyConfig) *Topology {
+	cfg = cfg.withDefaults()
+	t := &Topology{cfg: cfg, hosts: make(map[string]*HostPort)}
+	if cfg.Leaves > 1 {
+		t.spine = simclock.NewResource("cxl-fabric/spine", cfg.SpineBW)
+	}
+	for i := 0; i < cfg.Leaves; i++ {
+		suffix := ""
+		if cfg.Leaves > 1 {
+			suffix = fmt.Sprintf("/leaf%d", i)
+		}
+		fabric := simclock.NewResource("cxl-fabric"+suffix, cfg.LeafBW)
+		dev := simmem.NewDevice("cxl-pool"+suffix, cfg.PoolBytes, cfg.Profile, fabric)
+		box := &MemoryBox{dev: dev, rpc: simnet.New(cfg.RPCNanos, nil)}
+		box.mgr = newManager(dev)
+		box.mgr.register(box.rpc)
+		leaf := &Leaf{topo: t, idx: i, fabric: fabric, box: box}
+		if cfg.Leaves > 1 {
+			leaf.uplink = &InterSwitchLink{
+				res: simclock.NewResource(fmt.Sprintf("cxl-uplink/leaf%d", i), cfg.InterSwitchBW),
+				lat: cfg.InterSwitchNanos,
+			}
+		}
+		t.leaves = append(t.leaves, leaf)
+	}
+	return t
+}
+
+// Leaves reports the number of leaf switches.
+func (t *Topology) Leaves() int { return len(t.leaves) }
+
+// Leaf returns leaf i.
+func (t *Topology) Leaf(i int) *Leaf { return t.leaves[i] }
+
+// Spine exposes the spine crossbar resource (nil for single-leaf).
+func (t *Topology) Spine() *simclock.Resource { return t.spine }
+
+// Switch returns the single-switch view over leaf i: the legacy API
+// (Device, Manager, AttachHost, FabricStats) scoped to that leaf.
+func (t *Topology) Switch(i int) *Switch { return &Switch{leaf: t.leaves[i]} }
+
+// AttachHost connects a host to leaf switch leaf, creating its x16 link.
+// Attaching an already-attached name returns the existing port regardless of
+// leaf (reconnect after crash). It fails when leaf is out of range or the
+// leaf's port count (HostsPerLeaf) is exhausted.
+func (t *Topology) AttachHost(name string, leaf int) (*HostPort, error) {
+	if leaf < 0 || leaf >= len(t.leaves) {
+		return nil, fmt.Errorf("cxl: attach %q: no leaf %d (topology has %d)", name, leaf, len(t.leaves))
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if h, ok := t.hosts[name]; ok {
+		return h, nil
+	}
+	if t.cfg.HostsPerLeaf > 0 {
+		used := 0
+		for _, h := range t.hosts {
+			if h.leaf.idx == leaf {
+				used++
+			}
+		}
+		if used >= t.cfg.HostsPerLeaf {
+			return nil, fmt.Errorf("cxl: attach %q: leaf %d ports exhausted (%d)", name, leaf, t.cfg.HostsPerLeaf)
+		}
+	}
+	l := t.leaves[leaf]
+	h := &HostPort{
+		name: name,
+		leaf: l,
+		home: l,
+		link: simclock.NewResource("cxl-link/"+name, t.cfg.HostLinkBW),
+	}
+	if t.reg != nil {
+		lh := t.reg.Histogram("cxl.link.host.wait_ns")
+		h.link.SetWaitObserver(func(w int64) { lh.Observe(w) })
+	}
+	t.hosts[name] = h
+	return h, nil
+}
+
+// SetInjector installs (or, with nil, removes) the fault injector consulted
+// at every host attach/detach point (HostPort Allocate, Reattach, Release).
+// Injection on the pooled memory devices is installed separately via each
+// box's Device().SetInjector, so recovery code can keep regions healthy
+// while region-mapping RPCs fail, or vice versa.
+func (t *Topology) SetInjector(inj fault.Injector) {
+	t.mu.Lock()
+	t.inj = inj
+	t.mu.Unlock()
+}
+
+func (t *Topology) injector() fault.Injector {
+	t.mu.Lock()
+	inj := t.inj
+	t.mu.Unlock()
+	return inj
+}
+
+func (t *Topology) portPoint(op fault.Op) error {
+	if inj := t.injector(); inj != nil {
+		return inj.Point(op, 0)
+	}
+	return nil
+}
+
+// SetObserver threads reg through every component: each memory box's device
+// (mem.cxl-pool*.* counters) and manager RPC fabric (simnet.*), and the
+// queueing-wait histograms split by tier — cxl.fabric.leaf.wait_ns (leaf
+// crossbars), cxl.fabric.spine.wait_ns, cxl.link.interswitch.wait_ns
+// (trunks), and cxl.link.host.wait_ns for every host link attached now or
+// later — so congestion is attributable to the component that queued. A nil
+// reg detaches device and RPC metrics and stops new hosts being
+// instrumented.
+func (t *Topology) SetObserver(reg *obs.Registry) {
+	t.mu.Lock()
+	t.reg = reg
+	hosts := make([]*HostPort, 0, len(t.hosts))
+	for _, h := range t.hosts {
+		hosts = append(hosts, h)
+	}
+	t.mu.Unlock()
+	if reg == nil {
+		for _, l := range t.leaves {
+			l.box.dev.SetObserver(nil)
+			l.box.rpc.SetObserver(nil)
+			l.fabric.SetWaitObserver(nil)
+			if l.uplink != nil {
+				l.uplink.res.SetWaitObserver(nil)
+			}
+		}
+		if t.spine != nil {
+			t.spine.SetWaitObserver(nil)
+		}
+		return
+	}
+	leafH := reg.Histogram("cxl.fabric.leaf.wait_ns")
+	linkH := reg.Histogram("cxl.link.host.wait_ns")
+	for _, l := range t.leaves {
+		l.box.dev.SetObserver(reg)
+		l.box.rpc.SetObserver(reg)
+		l.fabric.SetWaitObserver(func(w int64) { leafH.Observe(w) })
+		if l.uplink != nil {
+			up := reg.Histogram("cxl.link.interswitch.wait_ns")
+			l.uplink.res.SetWaitObserver(func(w int64) { up.Observe(w) })
+		}
+	}
+	if t.spine != nil {
+		sh := reg.Histogram("cxl.fabric.spine.wait_ns")
+		t.spine.SetWaitObserver(func(w int64) { sh.Observe(w) })
+	}
+	for _, h := range hosts {
+		h.link.SetWaitObserver(func(w int64) { linkH.Observe(w) })
+	}
+}
+
+// ResetStats clears accounting on every component — leaf crossbars, spine,
+// trunks, host links, and each box's manager RPC fabric — between experiment
+// phases. Allocation lease state and device contents are untouched.
+func (t *Topology) ResetStats() {
+	for _, l := range t.leaves {
+		l.fabric.Reset()
+		if l.uplink != nil {
+			l.uplink.res.Reset()
+		}
+		l.box.rpc.ResetStats()
+	}
+	if t.spine != nil {
+		t.spine.Reset()
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, h := range t.hosts {
+		h.link.Reset()
+	}
+}

@@ -20,6 +20,14 @@ type pmeta struct {
 	dataOff int64
 }
 
+// Interconnect is a charged transport between a node and the CXL device
+// holding its flags and the DBP — cxl.HostPort.FabricPath when the node sits
+// on a different leaf switch than the fusion memory box, in which case every
+// flag word access pays the trunk/spine route.
+type Interconnect interface {
+	Use(clk *simclock.Clock, units int64)
+}
+
 // Node is one CXL multi-primary database node. It holds NO page data
 // locally: records are read and written in place in the shared DBP through
 // the node's CPU cache, with the software coherency protocol keeping cached
@@ -30,6 +38,7 @@ type Node struct {
 	cache  *simcpu.Cache
 	flags  *simmem.Region // this node's flag array in CXL
 	dbp    *simmem.Region // the shared DBP region (same device)
+	ic     Interconnect   // optional cross-switch route for flag accesses
 
 	mu        sync.Mutex
 	meta      map[uint64]*pmeta
@@ -74,6 +83,33 @@ func NewNode(name string, fusion *Fusion, cache *simcpu.Cache, flagRegion *simme
 // Name reports the node's cluster-wide identity.
 func (n *Node) Name() string { return n.name }
 
+// SetInterconnect installs the charged route between this node's host and
+// the CXL device (nil = co-located, no extra cost). Set before the node
+// serves traffic. Cache-mediated page accesses charge their own route via
+// the cache's interconnect; this one covers the direct flag-word protocol
+// accesses, which bypass the cache.
+func (n *Node) SetInterconnect(ic Interconnect) { n.ic = ic }
+
+// loadFlag reads one 8-byte flag word, paying the cross-switch route (if
+// any) on top of the device access.
+func (n *Node) loadFlag(clk *simclock.Clock, off int64) (uint64, error) {
+	v, err := n.fusion.dev.Load64(clk, off)
+	if err == nil && n.ic != nil {
+		n.ic.Use(clk, 8)
+	}
+	return v, err
+}
+
+// storeFlag writes one 8-byte flag word, paying the cross-switch route (if
+// any) on top of the device access.
+func (n *Node) storeFlag(clk *simclock.Clock, off int64, v uint64) error {
+	err := n.fusion.dev.Store64(clk, off, v)
+	if err == nil && n.ic != nil {
+		n.ic.Use(clk, 8)
+	}
+	return err
+}
+
 // Stats snapshots the node's protocol counters.
 func (n *Node) Stats() NodeStats {
 	n.mu.Lock()
@@ -108,7 +144,7 @@ func (n *Node) ensurePage(clk *simclock.Clock, pageID uint64) (*pmeta, error) {
 		// Check the removal flag: the fusion server may have recycled the
 		// frame.
 		fa := n.flagOffsets(m.slot)
-		removed, err := n.fusion.dev.Load64(clk, fa.removal)
+		removed, err := n.loadFlag(clk, fa.removal)
 		if err != nil {
 			return nil, err
 		}
@@ -159,10 +195,10 @@ func (n *Node) ensurePage(clk *simclock.Clock, pageID uint64) (*pmeta, error) {
 	n.mu.Unlock()
 	fa := n.flagOffsets(slot)
 	// Reset our flag words before registering them.
-	if err := n.fusion.dev.Store64(clk, fa.invalid, 0); err != nil {
+	if err := n.storeFlag(clk, fa.invalid, 0); err != nil {
 		return nil, err
 	}
-	if err := n.fusion.dev.Store64(clk, fa.removal, 0); err != nil {
+	if err := n.storeFlag(clk, fa.removal, 0); err != nil {
 		return nil, err
 	}
 	off, err := n.fusion.GetPage(clk, n.name, pageID, fa)
@@ -198,7 +234,7 @@ func (n *Node) honourInvalid(clk *simclock.Clock, pageID uint64, m *pmeta) error
 		return nil
 	}
 	fa := n.flagOffsets(m.slot)
-	inv, err := n.fusion.dev.Load64(clk, fa.invalid)
+	inv, err := n.loadFlag(clk, fa.invalid)
 	if err != nil {
 		return err
 	}
@@ -208,7 +244,7 @@ func (n *Node) honourInvalid(clk *simclock.Clock, pageID uint64, m *pmeta) error
 	if err := n.cache.Flush(clk, n.dbp, m.dataOff, page.Size); err != nil {
 		return err
 	}
-	if err := n.fusion.dev.Store64(clk, fa.invalid, 0); err != nil {
+	if err := n.storeFlag(clk, fa.invalid, 0); err != nil {
 		return err
 	}
 	n.mu.Lock()

@@ -62,8 +62,8 @@ type Cache struct {
 	lines map[lineKey]*line
 	lru   *list.List // front = most recent
 	stats Stats
-	link  *simclock.Resource // optional per-host interconnect charged per fill/write-back
-	inj   fault.Injector     // optional fault injector; may be nil
+	link  Interconnect   // optional per-host interconnect charged per fill/write-back
+	inj   fault.Injector // optional fault injector; may be nil
 	// domain, when set, provides CXL 3.0 hardware coherency across the
 	// domain's caches (see domain.go). Nil = CXL 2.0 behaviour: no
 	// inter-host coherency, software protocol required.
@@ -91,10 +91,29 @@ func New(name string, capacityBytes int64, hitLatency int64) *Cache {
 func (c *Cache) lock()   { c.mu <- struct{}{} }
 func (c *Cache) unlock() { <-c.mu }
 
+// Interconnect is a charged transport between the CPU and a memory device:
+// a single queueing resource (*simclock.Resource) or a composed multi-hop
+// route (a cxl topology path). It is charged one line of traffic on every
+// fill and write-back.
+type Interconnect interface {
+	Use(clk *simclock.Clock, units int64)
+}
+
 // SetLink attaches a shared interconnect resource (e.g., the host's x16 CXL
 // link) that is charged one line of traffic on every fill and write-back.
 // Must be called before the cache is shared across goroutines.
-func (c *Cache) SetLink(link *simclock.Resource) { c.link = link }
+func (c *Cache) SetLink(link *simclock.Resource) {
+	if link == nil {
+		c.link = nil // avoid a typed-nil Interconnect that would be "!= nil"
+		return
+	}
+	c.link = link
+}
+
+// SetInterconnect attaches a composed interconnect (e.g., a cross-switch
+// route) charged like SetLink's resource. ic must not be a typed nil.
+// Must be called before the cache is shared across goroutines.
+func (c *Cache) SetInterconnect(ic Interconnect) { c.link = ic }
 
 // SetInjector installs (or, with nil, removes) the fault injector consulted
 // at the cache's clflush and eviction write-back points. If the injector

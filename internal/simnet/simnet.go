@@ -372,6 +372,16 @@ func (f *Fabric) attempt(clk *simclock.Clock, endpoint, method string, reqBytes 
 	return resp, herr, nil
 }
 
+// ResetStats zeroes the fabric's accounting (the handler-execution count)
+// between experiment phases. Protocol state — registered endpoints, the
+// request-ID sequence, the idempotency reply cache — is untouched: those are
+// wire state, not accounting.
+func (f *Fabric) ResetStats() {
+	f.mu.Lock()
+	f.calls = 0
+	f.mu.Unlock()
+}
+
 // Calls reports the number of handler executions (retransmits answered from
 // the reply cache are not counted twice).
 func (f *Fabric) Calls() int64 {

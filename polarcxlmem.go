@@ -114,12 +114,32 @@ func WithInjector(inj fault.Injector) Option {
 type ClusterConfig struct {
 	// PoolPages is each CXL memory box's capacity in 16 KB page blocks.
 	PoolPages int64
-	// Pools is the number of independent switch+memory-box domains in the
-	// rack (the paper's Figure 5 deployment has two). Default 1. Instances
-	// are placed on the pool with the most free capacity.
+	// Pools is the number of leaf switches — each a switch plus its memory
+	// box — in the rack's fabric (the paper's Figure 5 deployment has two).
+	// Default 1. With more than one, the leaves interconnect through a spine
+	// crossbar over calibrated trunks, and instances are placed on the leaf
+	// box with the most free capacity (see InstanceConfig.Placement to pin).
 	Pools int
+	// Fabric, when non-nil, declares the leaf/spine topology explicitly
+	// (leaf count, per-tier bandwidths, inter-switch latency), overriding
+	// Pools. A zero Fabric.PoolBytes is sized from PoolPages.
+	Fabric *cxl.TopologyConfig
 	// StorageConfig overrides the shared page-store device model.
 	Storage storage.Config
+}
+
+// Placement pins an instance's components to fabric leaves. The zero value
+// pins both to leaf 0; negative values mean "auto": PoolLeaf -1 places the
+// buffer pool on the emptiest box, HostLeaf -1 co-locates the host with the
+// pool (intra-switch, the default policy). A host on a different leaf than
+// its pool pays the trunk+spine route on every page fill, write-back, and
+// bulk transfer.
+type Placement struct {
+	// HostLeaf is the leaf switch the instance's host attaches to.
+	HostLeaf int
+	// PoolLeaf is the leaf whose memory box holds the buffer pool (and the
+	// checkpoint area, when enabled).
+	PoolLeaf int
 }
 
 // InstanceConfig describes one database instance. Name and PoolPages are
@@ -141,6 +161,10 @@ type InstanceConfig struct {
 	// paying inline write-back, at the cost of flusher ticks on the commit
 	// path. Survives crash/recovery (re-applied by Cluster.Recover).
 	BackgroundFlush *flusher.Policy
+	// Placement, when non-nil, pins the instance's host and buffer pool to
+	// fabric leaves instead of the default policy (pool on the emptiest box,
+	// host co-located with it). Preserved across Recover.
+	Placement *Placement
 	// Checkpoint, when non-nil, enables continuous fuzzy checkpointing with
 	// this policy (zero value = defaults): a 128-byte CXL-durable checkpoint
 	// area is allocated next to the buffer pool, the checkpointer publishes
@@ -153,18 +177,20 @@ type InstanceConfig struct {
 	Checkpoint *checkpoint.Policy
 }
 
-// Cluster is a rack of CXL switch domains — each a switch plus its memory
-// box — over shared storage and durable logs: the disaggregated substrate.
-// It survives any Instance crash.
+// Cluster is a rack-scale CXL fabric — leaf switches, each fronting a
+// memory box, joined by a spine when there is more than one — over shared
+// storage and durable logs: the disaggregated substrate. It survives any
+// Instance crash.
 type Cluster struct {
-	switches   []*cxl.Switch
+	topo       *cxl.Topology
 	storageCfg storage.Config
 	stores     map[string]*storage.Store // one database volume per instance
 	wals       map[string]*wal.Store
 
-	instances map[string]*Instance
-	placement map[string]int            // instance -> switch index
-	configs   map[string]InstanceConfig // as started; re-applied on Recover
+	instances  map[string]*Instance
+	placement  map[string]int            // instance -> pool (box) leaf index
+	hostLeaves map[string]int            // instance -> host attachment leaf
+	configs    map[string]InstanceConfig // as started; re-applied on Recover
 
 	reg *obs.Registry
 	inj fault.Injector
@@ -189,20 +215,27 @@ func NewCluster(cfg ClusterConfig, opts ...Option) (*Cluster, error) {
 		wals:       make(map[string]*wal.Store),
 		instances:  make(map[string]*Instance),
 		placement:  make(map[string]int),
+		hostLeaves: make(map[string]int),
 		configs:    make(map[string]InstanceConfig),
 		reg:        o.reg,
 		inj:        o.inj,
 	}
-	for i := 0; i < cfg.Pools; i++ {
-		sw := cxl.NewSwitch(cxl.Config{PoolBytes: core.RegionSizeFor(cfg.PoolPages) + 4096})
-		if c.reg != nil {
-			sw.SetObserver(c.reg)
+	tc := cxl.TopologyConfig{Leaves: cfg.Pools}
+	if cfg.Fabric != nil {
+		tc = *cfg.Fabric
+	}
+	if tc.PoolBytes == 0 {
+		tc.PoolBytes = core.RegionSizeFor(cfg.PoolPages) + 4096
+	}
+	c.topo = cxl.NewTopology(tc)
+	if c.reg != nil {
+		c.topo.SetObserver(c.reg)
+	}
+	if c.inj != nil {
+		c.topo.SetInjector(c.inj)
+		for i := 0; i < c.topo.Leaves(); i++ {
+			c.topo.Leaf(i).Box().Device().SetInjector(c.inj)
 		}
-		if c.inj != nil {
-			sw.SetInjector(c.inj)
-			sw.Device().SetInjector(c.inj)
-		}
-		c.switches = append(c.switches, sw)
 	}
 	if c.reg != nil {
 		recovery.SetObserver(c.reg)
@@ -210,18 +243,19 @@ func NewCluster(cfg ClusterConfig, opts ...Option) (*Cluster, error) {
 	return c, nil
 }
 
-// place picks the switch domain with the most unallocated memory for a new
-// allocation of size bytes, or an error if nothing fits.
+// place picks the leaf whose memory box has the most unallocated memory for
+// a new allocation of size bytes, or an error if nothing fits.
 func (c *Cluster) place(size int64) (int, error) {
 	best, bestFree := -1, int64(-1)
-	for i, sw := range c.switches {
-		free := sw.Device().Size() - sw.Manager().Allocated()
+	for i := 0; i < c.topo.Leaves(); i++ {
+		box := c.topo.Leaf(i).Box()
+		free := box.Device().Size() - box.Manager().Allocated()
 		if free >= size && free > bestFree {
 			best, bestFree = i, free
 		}
 	}
 	if best < 0 {
-		return 0, fmt.Errorf("%w for %d bytes (pools: %d)", ErrNoCapacity, size, len(c.switches))
+		return 0, fmt.Errorf("%w for %d bytes (pools: %d)", ErrNoCapacity, size, c.topo.Leaves())
 	}
 	return best, nil
 }
@@ -254,16 +288,33 @@ func (c *Cluster) Start(cfg InstanceConfig) (*Instance, error) {
 		return nil, fmt.Errorf("%w: %q", ErrInstanceExists, cfg.Name)
 	}
 	clk := simclock.New()
-	swIdx, err := c.place(core.RegionSizeFor(cfg.PoolPages))
+	poolLeaf, hostLeaf := -1, -1
+	if cfg.Placement != nil {
+		poolLeaf, hostLeaf = cfg.Placement.PoolLeaf, cfg.Placement.HostLeaf
+		if poolLeaf >= c.topo.Leaves() || hostLeaf >= c.topo.Leaves() {
+			return nil, fmt.Errorf("polarcxlmem: instance %q placement (host %d, pool %d) exceeds topology (%d leaves)",
+				cfg.Name, hostLeaf, poolLeaf, c.topo.Leaves())
+		}
+	}
+	if poolLeaf < 0 {
+		var err error
+		if poolLeaf, err = c.place(core.RegionSizeFor(cfg.PoolPages)); err != nil {
+			return nil, err
+		}
+	}
+	if hostLeaf < 0 {
+		hostLeaf = poolLeaf // default policy: intra-switch placement
+	}
+	host, err := c.topo.AttachHost(cfg.Name+"-host", hostLeaf)
 	if err != nil {
 		return nil, err
 	}
-	host := c.switches[swIdx].AttachHost(cfg.Name + "-host")
-	region, err := host.Allocate(clk, cfg.Name, core.RegionSizeFor(cfg.PoolPages))
+	region, err := host.AllocateOn(clk, poolLeaf, cfg.Name, core.RegionSizeFor(cfg.PoolPages))
 	if err != nil {
 		return nil, err
 	}
-	c.placement[cfg.Name] = swIdx
+	c.placement[cfg.Name] = poolLeaf
+	c.hostLeaves[cfg.Name] = hostLeaf
 	cache := host.NewCache(cfg.Name, cfg.CacheBytes)
 	// Each instance is its own database: its own storage volume and log
 	// stream on the shared storage service.
@@ -371,8 +422,11 @@ func (c *Cluster) Recover(name string) (*Instance, *recovery.Result, error) {
 		cfg.CacheBytes = 8 << 20
 	}
 	clk := simclock.NewAt(old.clk.Now())
-	host := c.switches[c.placement[name]].AttachHost(name + "-host")
-	region, err := host.Reattach(clk, name)
+	host, err := c.topo.AttachHost(name+"-host", c.hostLeaves[name])
+	if err != nil {
+		return nil, nil, err
+	}
+	region, err := host.ReattachOn(clk, c.placement[name], name)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -399,11 +453,22 @@ func (c *Cluster) Recover(name string) (*Instance, *recovery.Result, error) {
 	return inst, res, nil
 }
 
-// Switch exposes the first CXL switch domain (stats, advanced wiring).
-func (c *Cluster) Switch() *cxl.Switch { return c.switches[0] }
+// Topology exposes the cluster's leaf/spine CXL fabric (stats, advanced
+// wiring, per-tier congestion metrics).
+func (c *Cluster) Topology() *cxl.Topology { return c.topo }
 
-// Switches exposes every switch domain in the rack.
-func (c *Cluster) Switches() []*cxl.Switch { return c.switches }
+// Switch exposes the first leaf's single-switch view (stats, advanced
+// wiring).
+func (c *Cluster) Switch() *cxl.Switch { return c.topo.Switch(0) }
+
+// Switches exposes a single-switch view per leaf in the fabric.
+func (c *Cluster) Switches() []*cxl.Switch {
+	out := make([]*cxl.Switch, c.topo.Leaves())
+	for i := range out {
+		out[i] = c.topo.Switch(i)
+	}
+	return out
+}
 
 // Observer returns the registry installed with WithObserver (nil if none).
 func (c *Cluster) Observer() *obs.Registry { return c.reg }

@@ -17,6 +17,16 @@ type SharingConfig struct {
 	DBPPages int // distributed-buffer-pool frames in CXL
 	// MetaSlots bounds each node's page-metadata buffer (default 4096).
 	MetaSlots int
+	// Fabric, when non-nil, declares a leaf/spine topology (leaf count,
+	// bandwidths, inter-switch latency). Nil = single switch. The fusion
+	// host, the DBP, and every node's flag words live on leaf 0's memory
+	// box; Fabric.PoolBytes defaults to the sized DBP+flags capacity.
+	Fabric *cxl.TopologyConfig
+	// NodeLeaves places node i's host on leaf NodeLeaves[i]. Nil or short
+	// slices default remaining nodes to leaf 0. A node on another leaf pays
+	// the trunk+spine route on every page fill, publication write-back, and
+	// coherency-flag access — the cross-switch sharing cost.
+	NodeLeaves []int
 }
 
 // SharingCluster is a multi-primary deployment (§3.3): N database nodes
@@ -24,7 +34,7 @@ type SharingConfig struct {
 // buffer-fusion server, with cache coherency provided by the software
 // invalid/removal-flag protocol.
 type SharingCluster struct {
-	sw     *cxl.Switch
+	topo   *cxl.Topology
 	fusion *sharing.Fusion
 	nodes  []*sharing.Node
 	hosts  []*cxl.HostPort
@@ -52,18 +62,31 @@ func NewSharingCluster(cfg SharingConfig, opts ...Option) (*SharingCluster, erro
 	}
 	clk := simclock.New()
 	flagBytes := int64(cfg.MetaSlots) * 16
-	sw := cxl.NewSwitch(cxl.Config{
-		PoolBytes: int64(cfg.DBPPages)*page.Size + int64(cfg.Nodes+1)*flagBytes + 4096,
-	})
+	tc := cxl.TopologyConfig{}
+	if cfg.Fabric != nil {
+		tc = *cfg.Fabric
+	}
+	if tc.PoolBytes == 0 {
+		tc.PoolBytes = int64(cfg.DBPPages)*page.Size + int64(cfg.Nodes+1)*flagBytes + 4096
+	}
+	topo := cxl.NewTopology(tc)
 	if o.reg != nil {
-		sw.SetObserver(o.reg)
+		topo.SetObserver(o.reg)
 	}
 	if o.inj != nil {
-		sw.SetInjector(o.inj)
-		sw.Device().SetInjector(o.inj)
+		topo.SetInjector(o.inj)
+		for i := 0; i < topo.Leaves(); i++ {
+			topo.Leaf(i).Box().Device().SetInjector(o.inj)
+		}
 	}
 	store := storage.New(storage.Config{})
-	fhost := sw.AttachHost("fusion-host")
+	// The fusion server and all shared CXL state — the DBP and every node's
+	// flag words — live on leaf 0's memory box; remote-leaf nodes reach them
+	// over the trunk+spine route.
+	fhost, err := topo.AttachHost("fusion-host", 0)
+	if err != nil {
+		return nil, err
+	}
 	dbp, err := fhost.Allocate(clk, "dbp", int64(cfg.DBPPages)*page.Size)
 	if err != nil {
 		return nil, err
@@ -75,15 +98,24 @@ func NewSharingCluster(cfg SharingConfig, opts ...Option) (*SharingCluster, erro
 	if o.inj != nil {
 		fusion.SetInjector(o.inj)
 	}
-	sc := &SharingCluster{sw: sw, fusion: fusion, store: store, clk: clk}
+	sc := &SharingCluster{topo: topo, fusion: fusion, store: store, clk: clk}
 	for i := 0; i < cfg.Nodes; i++ {
 		name := fmt.Sprintf("node-%d", i)
-		host := sw.AttachHost(name)
-		flags, err := host.Allocate(clk, name+"-flags", flagBytes)
+		leaf := 0
+		if i < len(cfg.NodeLeaves) {
+			leaf = cfg.NodeLeaves[i]
+		}
+		host, err := topo.AttachHost(name, leaf)
 		if err != nil {
 			return nil, err
 		}
-		sc.nodes = append(sc.nodes, sharing.NewNode(name, fusion, host.NewCache(name, 8<<20), flags))
+		flags, err := host.AllocateOn(clk, 0, name+"-flags", flagBytes)
+		if err != nil {
+			return nil, err
+		}
+		node := sharing.NewNode(name, fusion, host.NewCache(name, 8<<20), flags)
+		node.SetInterconnect(host.FabricPath())
+		sc.nodes = append(sc.nodes, node)
 		sc.hosts = append(sc.hosts, host)
 		sc.flags = append(sc.flags, flags)
 	}
@@ -113,12 +145,17 @@ func (s *SharingCluster) RejoinPrimary(i int) error {
 	if err := s.fusion.RejoinNode(s.clk, name); err != nil {
 		return err
 	}
-	s.nodes[i] = sharing.NewNode(name, s.fusion, s.hosts[i].NewCache(name, 8<<20), s.flags[i])
+	node := sharing.NewNode(name, s.fusion, s.hosts[i].NewCache(name, 8<<20), s.flags[i])
+	node.SetInterconnect(s.hosts[i].FabricPath())
+	s.nodes[i] = node
 	return nil
 }
 
 // Clock exposes the cluster's virtual clock.
 func (s *SharingCluster) Clock() *simclock.Clock { return s.clk }
+
+// Topology exposes the deployment's CXL fabric (per-tier stats, trunks).
+func (s *SharingCluster) Topology() *cxl.Topology { return s.topo }
 
 // Storage exposes the backing page store (seed shared pages here).
 func (s *SharingCluster) Storage() *storage.Store { return s.store }
