@@ -90,7 +90,9 @@ func (p *cxlTieredPool) evictOne(clk *simclock.Clock) error {
 			if err := p.region.WriteRaw(p.off(f.id), f.img); err != nil {
 				return err
 			}
-			p.host.TransferWrite(clk, page.Size)
+			if err := p.host.TransferWrite(clk, page.Size); err != nil {
+				return err
+			}
 			p.stats.RemoteWrites++
 		}
 		return nil
@@ -120,7 +122,9 @@ func (p *cxlTieredPool) Get(clk *simclock.Clock, id uint64, mode buffer.Mode) (b
 			return nil, err
 		}
 		if page.RawID(f.img) == id {
-			p.host.TransferRead(clk, page.Size)
+			if err := p.host.TransferRead(clk, page.Size); err != nil {
+				return nil, err
+			}
 			p.stats.RemoteReads++
 			f.inCXL = true
 		}

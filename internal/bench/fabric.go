@@ -6,6 +6,7 @@ import (
 	"os"
 
 	"polarcxlmem/internal/cxl"
+	"polarcxlmem/internal/obs"
 	"polarcxlmem/internal/simclock"
 )
 
@@ -66,18 +67,32 @@ type FabricAblation struct {
 	SpineUtil     float64 `json:"spine_util"`
 }
 
+// FabricDegraded is one degraded-trunk phase measurement for
+// BENCH_fabric.json: the same all-cross workload run with the trunks
+// healthy, degraded to 1/DegradeFactor bandwidth, and restored through
+// probation.
+type FabricDegraded struct {
+	Phase         string  `json:"phase"`
+	AggGBps       float64 `json:"agg_gbps"`
+	CrossHostGBps float64 `json:"cross_host_gbps"`
+	SlowdownX     float64 `json:"slowdown_vs_healthy_x,omitempty"`
+	UplinkUtil    float64 `json:"uplink_util"`
+	DegradedXfers int64   `json:"degraded_traversals"`
+}
+
 // fabricJSON is the BENCH_fabric.json document.
 type fabricJSON struct {
-	Experiment      string           `json:"experiment"`
-	Leaves          int              `json:"leaves"`
-	LeafBWGBps      float64          `json:"leaf_bw_gbps"`
-	SpineBWGBps     float64          `json:"spine_bw_gbps"`
-	TrunkBWGBps     float64          `json:"interswitch_bw_gbps"`
-	TrunkNanos      int64            `json:"interswitch_nanos"`
-	TransferBytes   int64            `json:"transfer_bytes"`
-	RoundsPerStream int              `json:"rounds_per_stream"`
-	HostScaling     []FabricPoint    `json:"host_scaling"`
-	PlacementSweep  []FabricAblation `json:"placement_ablation"`
+	Experiment      string            `json:"experiment"`
+	Leaves          int               `json:"leaves"`
+	LeafBWGBps      float64           `json:"leaf_bw_gbps"`
+	SpineBWGBps     float64           `json:"spine_bw_gbps"`
+	TrunkBWGBps     float64           `json:"interswitch_bw_gbps"`
+	TrunkNanos      int64             `json:"interswitch_nanos"`
+	TransferBytes   int64             `json:"transfer_bytes"`
+	RoundsPerStream int               `json:"rounds_per_stream"`
+	HostScaling     []FabricPoint     `json:"host_scaling"`
+	PlacementSweep  []FabricAblation  `json:"placement_ablation"`
+	DegradedTrunk   []*FabricDegraded `json:"degraded_trunk"`
 }
 
 // fabricRig is one measurement topology: hosts round-robined over the
@@ -143,10 +158,16 @@ func (r *fabricRig) run(rounds int) (agg, intra, crossTput float64, spanMillis f
 				next = s
 			}
 		}
+		var xerr error
 		if next.ops%2 == 0 {
-			r.hosts[next.host].TransferRead(next.clk, fabricXferBytes)
+			xerr = r.hosts[next.host].TransferRead(next.clk, fabricXferBytes)
 		} else {
-			r.hosts[next.host].TransferWrite(next.clk, fabricXferBytes)
+			xerr = r.hosts[next.host].TransferWrite(next.clk, fabricXferBytes)
+		}
+		if xerr != nil {
+			// The rig never downs fabric components, so a transfer cannot
+			// fail; reaching here is a harness bug.
+			panic(xerr)
 		}
 		next.ops++
 		if next.ops == opsPerStream {
@@ -289,6 +310,16 @@ func runFabric(cfg Config) ([]*Table, error) {
 	ablT.Notes = append(ablT.Notes,
 		"cross-switch transfers pay 2 x 284 ns trunk latency and queue on the 64 GB/s trunks; a few crossing hosts saturate them while intra-switch neighbours keep link-rate throughput")
 
+	degT := &Table{
+		ID:      "fabric",
+		Title:   "Degraded trunk: all-cross throughput healthy vs degraded vs post-probation",
+		Headers: []string{"phase", "agg GB/s", "cross-host GB/s", "slowdown", "uplink util", "degraded xfers"},
+	}
+	degraded, err := runDegradedTrunk(rounds, degT)
+	if err != nil {
+		return nil, err
+	}
+
 	doc := fabricJSON{
 		Experiment:      "fabric-topology",
 		Leaves:          fabricLeaves,
@@ -300,6 +331,7 @@ func runFabric(cfg Config) ([]*Table, error) {
 		RoundsPerStream: rounds,
 		HostScaling:     scaling,
 		PlacementSweep:  ablation,
+		DegradedTrunk:   degraded,
 	}
 	buf, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
@@ -308,5 +340,68 @@ func runFabric(cfg Config) ([]*Table, error) {
 	if err := os.WriteFile("BENCH_fabric.json", append(buf, '\n'), 0o644); err != nil {
 		return nil, err
 	}
-	return []*Table{scalingT, ablT}, nil
+	return []*Table{scalingT, ablT, degT}, nil
+}
+
+// runDegradedTrunk measures the health machine's Degraded state end to end:
+// the same 8-host all-cross workload with the trunks healthy, degraded
+// (every traversal occupies DegradeFactor x its service time and counts on
+// cxl.fabric.degraded.trunk), and restored through probation — proving
+// degradation is a bandwidth brown-out, not an outage, and that restore
+// recovers the healthy throughput exactly.
+func runDegradedTrunk(rounds int, tbl *Table) ([]*FabricDegraded, error) {
+	const degradedHosts = 8
+	// The degraded-traversal counter needs a registry even when the bench
+	// runs without -metrics: fall back to a local one.
+	reg := observer()
+	if reg == nil {
+		reg = obs.New(obs.Options{})
+	}
+	degradedCount := func() int64 {
+		return reg.Snapshot().Counters["cxl.fabric.degraded.trunk"]
+	}
+	var out []*FabricDegraded
+	var healthyAgg float64
+	for _, phase := range []string{"healthy", "degraded", "post-probation"} {
+		rig, err := buildFabricRig(degradedHosts, 100)
+		if err != nil {
+			return nil, err
+		}
+		rig.topo.SetObserver(reg)
+		switch phase {
+		case "degraded":
+			for i := 0; i < rig.topo.Leaves(); i++ {
+				rig.topo.DegradeTrunk(0, i)
+			}
+		case "post-probation":
+			for i := 0; i < rig.topo.Leaves(); i++ {
+				rig.topo.DegradeTrunk(0, i)
+				rig.topo.RestoreTrunk(0, i)
+			}
+		}
+		before := degradedCount()
+		agg, _, cross, spanMs := rig.run(rounds)
+		p := &FabricDegraded{
+			Phase:         phase,
+			AggGBps:       agg / 1e9,
+			CrossHostGBps: cross / 1e9,
+			UplinkUtil:    rig.maxUplinkUtil(spanMs),
+			DegradedXfers: degradedCount() - before,
+		}
+		if phase == "healthy" {
+			healthyAgg = agg
+		} else if agg > 0 {
+			p.SlowdownX = healthyAgg / agg
+		}
+		out = append(out, p)
+		slow := "-"
+		if p.SlowdownX > 0 {
+			slow = f1(p.SlowdownX) + "x"
+		}
+		tbl.AddRow(phase, f1(p.AggGBps), f1(p.CrossHostGBps), slow,
+			pct(p.UplinkUtil), fmt.Sprint(p.DegradedXfers))
+	}
+	tbl.Notes = append(tbl.Notes,
+		"a degraded trunk serves at 1/4 bandwidth (DefaultDegradeFactor) but stays reachable; RestoreTrunk runs probation at full bandwidth, so post-probation throughput matches healthy")
+	return out, nil
 }

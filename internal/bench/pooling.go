@@ -86,9 +86,13 @@ func runTable2(cfg Config) ([]*Table, error) {
 			return nil, err
 		}
 		cwclk := simclock.New()
-		host.TransferWrite(cwclk, sz)
+		if err := host.TransferWrite(cwclk, sz); err != nil {
+			return nil, err
+		}
 		crclk := simclock.New()
-		host.TransferRead(crclk, sz)
+		if err := host.TransferRead(crclk, sz); err != nil {
+			return nil, err
+		}
 		t.AddRow(fmt.Sprintf("%dB", sz),
 			f2(float64(wclk.Now())/1e3), f2(float64(cwclk.Now())/1e3),
 			f2(float64(rclk.Now())/1e3), f2(float64(crclk.Now())/1e3))

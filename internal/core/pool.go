@@ -315,7 +315,9 @@ func (s *cxlStore) evictOne(clk *simclock.Clock) (int64, error) {
 			}
 			// Charge the bulk CXL->DRAM staging read that precedes the
 			// storage write, then the storage write itself.
-			p.host.TransferRead(clk, page.Size)
+			if err := p.host.TransferRead(clk, page.Size); err != nil {
+				return 0, err
+			}
 			if p.barrier != nil {
 				p.barrier(clk, page.RawLSN(img))
 			}
@@ -364,7 +366,9 @@ func (s *cxlStore) install(clk *simclock.Clock, idx int64, id uint64, img []byte
 		return err
 	}
 	if chargeXfer {
-		p.host.TransferWrite(clk, page.Size)
+		if err := p.host.TransferWrite(clk, page.Size); err != nil {
+			return err
+		}
 	}
 	p.metaStore(clk, idx, mPageID, id)
 	p.metaStore(clk, idx, mLSN, lsn)
@@ -478,7 +482,9 @@ func (s *cxlStore) Writeback(clk *simclock.Clock, id uint64, slot any) error {
 	if err := p.rawImage(idx, img); err != nil {
 		return err
 	}
-	p.host.TransferRead(clk, page.Size)
+	if err := p.host.TransferRead(clk, page.Size); err != nil {
+		return err
+	}
 	if p.barrier != nil {
 		p.barrier(clk, page.RawLSN(img))
 	}
@@ -529,7 +535,9 @@ func (p *CXLPool) FlushAll(clk *simclock.Clock) error {
 			err = p.rawImage(idx, img)
 		}
 		if err == nil {
-			p.host.TransferRead(clk, page.Size)
+			err = p.host.TransferRead(clk, page.Size)
+		}
+		if err == nil {
 			if p.barrier != nil {
 				p.barrier(clk, page.RawLSN(img))
 			}

@@ -60,7 +60,9 @@ func Open(clk *simclock.Clock, host *cxl.HostPort, region *simmem.Region, cache 
 	// this is the entire cost of rediscovering the buffer pool, versus
 	// re-reading every page in the baselines.
 	rep.ScannedBytes = n * metaSize
-	host.TransferRead(clk, rep.ScannedBytes)
+	if err := host.TransferRead(clk, rep.ScannedBytes); err != nil {
+		return nil, nil, err
+	}
 
 	inUse := make(map[int64]BlockInfo)
 	for i := int64(1); i <= n; i++ {
@@ -118,7 +120,9 @@ func Open(clk *simclock.Clock, host *cxl.HostPort, region *simmem.Region, cache 
 		return nil, nil, err
 	}
 	rep.FreeRebuilt = free
-	host.TransferWrite(clk, int64(free)*metaSize)
+	if err := host.TransferWrite(clk, int64(free)*metaSize); err != nil {
+		return nil, nil, err
+	}
 	return p, rep, nil
 }
 
@@ -209,7 +213,9 @@ func (p *CXLPool) RepairPage(clk *simclock.Clock, id uint64, img []byte, dirty b
 	if err := p.region.WriteRaw(dataOff(idx), img); err != nil {
 		return err
 	}
-	p.host.TransferWrite(clk, page.Size)
+	if err := p.host.TransferWrite(clk, page.Size); err != nil {
+		return err
+	}
 	flags := flagInUse
 	if dirty {
 		flags |= flagDirty

@@ -7,6 +7,7 @@ package cxl
 
 import (
 	"polarcxlmem/internal/simmem"
+	"polarcxlmem/internal/simnet"
 )
 
 // Access latencies calibrated from the paper's Table 1 (Intel MLC, ns).
@@ -150,3 +151,19 @@ const (
 	// exactly the paper's point (§3.1).
 	ManagerRPCNanos = 50_000
 )
+
+// DefaultRPCRetry is the seeded-backoff retry policy installed on every
+// memory box's manager RPC fabric: four attempts with 25 µs exponential
+// backoff under a 1 ms deadline, so a transient control-plane flap is
+// absorbed inside a couple of backoff windows while a persistent failure
+// surfaces as a typed *simnet.DeadlineError within one bounded millisecond.
+// The jitter seed is fixed — retries stay replay-deterministic.
+func DefaultRPCRetry() *simnet.RetryPolicy {
+	return &simnet.RetryPolicy{
+		MaxAttempts:   4,
+		BackoffNanos:  25_000,
+		BackoffFactor: 2,
+		JitterSeed:    0x0c71,
+		DeadlineNanos: 1_000_000,
+	}
+}

@@ -54,6 +54,14 @@ func (m *Manager) register(f *simnet.Fabric) {
 	})
 }
 
+// wipeLeases drops all allocation state — the box lost power, so the
+// controller's lease table is gone with it.
+func (m *Manager) wipeLeases() {
+	m.mu.Lock()
+	m.leases = make(map[string]lease)
+	m.mu.Unlock()
+}
+
 // Allocate reserves size bytes for client and returns the device offset.
 // Allocation is first-fit over the gaps between existing leases; a client
 // may hold at most one lease (the paper allocates the whole buffer pool in

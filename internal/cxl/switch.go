@@ -1,6 +1,7 @@
 package cxl
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
@@ -130,10 +131,104 @@ func (h *HostPort) crossHops(clk *simclock.Clock, home *Leaf, n int64) {
 	if home == h.leaf {
 		return
 	}
-	h.leaf.fabric.Use(clk, n)
+	h.leaf.useFabric(clk, n)
 	h.leaf.uplink.Use(clk, n)
 	h.leaf.topo.spine.Use(clk, n)
 	home.uplink.Use(clk, n)
+}
+
+// resolveRoute consults the injector and health state for every component
+// on the data route between the host and home's box, in route order:
+// the attachment leaf's crossbar (OpLeafXbar), then on cross-leaf routes
+// both trunks (OpTrunkXfer, attachment side first) and the home crossbar
+// (OpLeafXbar), and finally the home box itself (OpBoxAccess). Injected
+// health sentinels transition the component's state machine (ErrDegrade ->
+// Degraded, ErrLinkFlap -> transient Failed, ErrLinkDown -> persistent
+// Failed, ErrBoxPower -> box power loss); the post-transition state then
+// decides the outcome.
+//
+// In error mode (wait=false — the Transfer bulk paths), a Failed component
+// or dead box returns *UnreachableError and non-sentinel injected errors
+// propagate. In wait mode (wait=true — the void Interconnect paths used by
+// CPU-cache fills and flag words), a transiently Failed component stalls
+// the stream until the component self-repairs, a persistently Failed one
+// panics (harness bug: void paths cannot report unreachability — route
+// bulk transfers there instead), non-sentinel injected errors are ignored
+// (the device access surfaces them), and a dead box proceeds so that the
+// device itself returns its typed power-loss error.
+//
+// Until chaos is armed (no injector, no chaos API fired) this is a single
+// atomic load, preserving the exact fault-free cost model and replay
+// sequences.
+func (h *HostPort) resolveRoute(clk *simclock.Clock, home *Leaf, n int64, wait bool) error {
+	t := h.leaf.topo
+	if !t.chaosArmed() {
+		return nil
+	}
+	inj := t.injector()
+	if err := routeComponent(clk, inj, fault.OpLeafXbar, h.leaf.health, n, wait); err != nil {
+		return err
+	}
+	if home != h.leaf {
+		if err := routeComponent(clk, inj, fault.OpTrunkXfer, h.leaf.uplink.health, n, wait); err != nil {
+			return err
+		}
+		if err := routeComponent(clk, inj, fault.OpTrunkXfer, home.uplink.health, n, wait); err != nil {
+			return err
+		}
+		if err := routeComponent(clk, inj, fault.OpLeafXbar, home.health, n, wait); err != nil {
+			return err
+		}
+	}
+	if inj != nil {
+		if err := inj.Point(fault.OpBoxAccess, n); err != nil {
+			switch {
+			case errors.Is(err, fault.ErrBoxPower):
+				t.FailBox(home.idx)
+			case !wait:
+				return err
+			}
+		}
+	}
+	if home.box.Failed() && !wait {
+		return &UnreachableError{Component: home.box.dev.Name(), State: Failed}
+	}
+	return nil
+}
+
+// routeComponent fires one route-resolution injection point against a
+// component's health machine and enforces the resulting state; see
+// resolveRoute for the mode semantics.
+func routeComponent(clk *simclock.Clock, inj fault.Injector, op fault.Op, hp *health, n int64, wait bool) error {
+	if inj != nil {
+		if err := inj.Point(op, n); err != nil {
+			switch {
+			case errors.Is(err, fault.ErrDegrade):
+				hp.degrade(clk.Now())
+			case errors.Is(err, fault.ErrLinkFlap):
+				hp.fail(clk.Now(), false)
+			case errors.Is(err, fault.ErrLinkDown):
+				hp.fail(clk.Now(), true)
+			case !wait:
+				return err
+			}
+		}
+	}
+	if hp.observe(clk.Now()) != Failed {
+		return nil
+	}
+	if !wait {
+		return &UnreachableError{Component: hp.name, State: Failed}
+	}
+	until, sticky := hp.repair()
+	if sticky {
+		panic(fmt.Sprintf("cxl: %s is persistently failed on a void data path; restore it or use the error-returning Transfer paths", hp.name))
+	}
+	// Transient outage on a void path: the stream stalls until the
+	// component self-repairs into probation.
+	clk.AdvanceTo(until)
+	hp.observe(clk.Now())
+	return nil
 }
 
 // hostDataPath charges the host-side data route at Use time: the host's x16
@@ -143,8 +238,10 @@ func (h *HostPort) crossHops(clk *simclock.Clock, home *Leaf, n int64) {
 type hostDataPath struct{ h *HostPort }
 
 func (p hostDataPath) Use(clk *simclock.Clock, n int64) {
+	home := p.h.HomeLeaf()
+	p.h.resolveRoute(clk, home, n, true) // wait mode: nil or stalls
 	p.h.link.Use(clk, n)
-	p.h.crossHops(clk, p.h.HomeLeaf(), n)
+	p.h.crossHops(clk, home, n)
 }
 
 // hostFabricPath charges only the switch-side cross-leaf hops — no host
@@ -154,7 +251,9 @@ func (p hostDataPath) Use(clk *simclock.Clock, n int64) {
 type hostFabricPath struct{ h *HostPort }
 
 func (p hostFabricPath) Use(clk *simclock.Clock, n int64) {
-	p.h.crossHops(clk, p.h.HomeLeaf(), n)
+	home := p.h.HomeLeaf()
+	p.h.resolveRoute(clk, home, n, true) // wait mode: nil or stalls
+	p.h.crossHops(clk, home, n)
 }
 
 // Interconnect is a charged transport (cxl.Path-style): both path flavours
@@ -198,6 +297,20 @@ func (h *HostPort) Allocate(clk *simclock.Clock, client string, size int64) (*si
 // box the host's home: subsequent allocations, transfers, and cache traffic
 // route there (paying trunk+spine cost when it is not the attachment leaf).
 func (h *HostPort) AllocateOn(clk *simclock.Clock, leaf int, client string, size int64) (*simmem.Region, error) {
+	r, err := h.AllocateAt(clk, leaf, client, size)
+	if err != nil {
+		return nil, err
+	}
+	h.setHome(h.leaf.topo.leaves[leaf])
+	return r, nil
+}
+
+// AllocateAt places client's allocation on leaf's memory box WITHOUT making
+// that box the host's home: data routes keep targeting the current home.
+// Auxiliary durable areas (checkpoint records) use this so their placement
+// — possibly a different failure domain than the buffer pool — never
+// redirects the instance's data traffic.
+func (h *HostPort) AllocateAt(clk *simclock.Clock, leaf int, client string, size int64) (*simmem.Region, error) {
 	t := h.leaf.topo
 	if leaf < 0 || leaf >= len(t.leaves) {
 		return nil, fmt.Errorf("cxl: allocate %q: no leaf %d (topology has %d)", client, leaf, len(t.leaves))
@@ -206,11 +319,13 @@ func (h *HostPort) AllocateOn(clk *simclock.Clock, leaf int, client string, size
 		return nil, err
 	}
 	target := t.leaves[leaf]
+	if target.box.Failed() {
+		return nil, &UnreachableError{Component: target.box.dev.Name(), State: Failed}
+	}
 	resp, err := h.rpcCall(clk, target, "alloc", allocReq{Client: client, Size: size})
 	if err != nil {
 		return nil, err
 	}
-	h.setHome(target)
 	off := resp.(int64)
 	return target.box.dev.Region(off, size)
 }
@@ -226,6 +341,17 @@ func (h *HostPort) Reattach(clk *simclock.Clock, client string) (*simmem.Region,
 // ReattachOn recovers client's region from leaf's memory box and makes that
 // box the host's home (the cross-leaf restart path).
 func (h *HostPort) ReattachOn(clk *simclock.Clock, leaf int, client string) (*simmem.Region, error) {
+	r, err := h.ReattachAt(clk, leaf, client)
+	if err != nil {
+		return nil, err
+	}
+	h.setHome(h.leaf.topo.leaves[leaf])
+	return r, nil
+}
+
+// ReattachAt recovers client's region from leaf's memory box WITHOUT
+// rehoming the host (the auxiliary-area counterpart of ReattachOn).
+func (h *HostPort) ReattachAt(clk *simclock.Clock, leaf int, client string) (*simmem.Region, error) {
 	t := h.leaf.topo
 	if leaf < 0 || leaf >= len(t.leaves) {
 		return nil, fmt.Errorf("cxl: reattach %q: no leaf %d (topology has %d)", client, leaf, len(t.leaves))
@@ -234,11 +360,13 @@ func (h *HostPort) ReattachOn(clk *simclock.Clock, leaf int, client string) (*si
 		return nil, err
 	}
 	target := t.leaves[leaf]
+	if target.box.Failed() {
+		return nil, &UnreachableError{Component: target.box.dev.Name(), State: Failed}
+	}
 	resp, err := h.rpcCall(clk, target, "reattach", client)
 	if err != nil {
 		return nil, err
 	}
-	h.setHome(target)
 	l := resp.(lease)
 	return target.box.dev.Region(l.off, l.size)
 }
@@ -248,7 +376,11 @@ func (h *HostPort) Release(clk *simclock.Clock, client string) error {
 	if err := h.leaf.topo.portPoint(fault.OpHostDetach); err != nil {
 		return err
 	}
-	_, err := h.rpcCall(clk, h.HomeLeaf(), "free", client)
+	home := h.HomeLeaf()
+	if home.box.Failed() {
+		return &UnreachableError{Component: home.box.dev.Name(), State: Failed}
+	}
+	_, err := h.rpcCall(clk, home, "free", client)
 	return err
 }
 
@@ -258,8 +390,13 @@ func (h *HostPort) Release(clk *simclock.Clock, client string) error {
 // intra-leaf copy costs exactly the Table 2 value, while concurrent copies
 // queue on the shared links. A cross-leaf copy additionally pays the
 // attachment crossbar, both trunks (with per-switch latency), and the spine.
-func (h *HostPort) transfer(clk *simclock.Clock, tab *simmem.LatencyTable, n int64) {
+// The route is resolved first: a Failed component or dead box returns
+// *UnreachableError (wrapping ErrFabricUnreachable) and nothing is charged.
+func (h *HostPort) transfer(clk *simclock.Clock, tab *simmem.LatencyTable, n int64) error {
 	home := h.HomeLeaf()
+	if err := h.resolveRoute(clk, home, n, false); err != nil {
+		return err
+	}
 	fixed := tab.Cost(n) - h.link.ServiceTime(n) - home.fabric.ServiceTime(n)
 	if fixed > 0 {
 		clk.Advance(fixed)
@@ -270,19 +407,22 @@ func (h *HostPort) transfer(clk *simclock.Clock, tab *simmem.LatencyTable, n int
 	// intra-leaf traffic behind it. Charging bandwidth at the issue-side time
 	// keeps crossbar arrivals causal; the stream itself still pays every hop.
 	h.link.Use(clk, n)
-	home.fabric.Use(clk, n)
+	home.useFabric(clk, n)
 	h.crossHops(clk, home, n)
+	return nil
 }
 
 // TransferRead charges the calibrated bulk CXL->DRAM copy cost (Table 2)
-// for n bytes, including link and fabric bandwidth.
-func (h *HostPort) TransferRead(clk *simclock.Clock, n int64) {
-	h.transfer(clk, ReadTransfer, n)
+// for n bytes, including link and fabric bandwidth. It fails with
+// ErrFabricUnreachable (wrapped) when the route to the home box is down.
+func (h *HostPort) TransferRead(clk *simclock.Clock, n int64) error {
+	return h.transfer(clk, ReadTransfer, n)
 }
 
-// TransferWrite charges the calibrated bulk DRAM->CXL copy cost for n bytes.
-func (h *HostPort) TransferWrite(clk *simclock.Clock, n int64) {
-	h.transfer(clk, WriteTransfer, n)
+// TransferWrite charges the calibrated bulk DRAM->CXL copy cost for n
+// bytes; same failure contract as TransferRead.
+func (h *HostPort) TransferWrite(clk *simclock.Clock, n int64) error {
+	return h.transfer(clk, WriteTransfer, n)
 }
 
 // String implements fmt.Stringer for diagnostics.

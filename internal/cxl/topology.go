@@ -3,6 +3,7 @@ package cxl
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"polarcxlmem/internal/fault"
 	"polarcxlmem/internal/obs"
@@ -39,6 +40,15 @@ type TopologyConfig struct {
 	// RPCNanos is the manager control-plane RPC round trip; 0 =
 	// ManagerRPCNanos.
 	RPCNanos int64
+	// RPCRetry is the seeded-backoff retry policy installed on every memory
+	// box's manager RPC fabric, so transient control-plane faults are
+	// absorbed and persistent ones surface as deadline errors within a
+	// bounded virtual time. nil = DefaultRPCRetry().
+	RPCRetry *simnet.RetryPolicy
+	// Health parameterizes the per-trunk/leaf fault state machine (flap
+	// repair time, probation window, degraded-bandwidth factor). Zero
+	// fields take calibrated defaults.
+	Health HealthPolicy
 	// Profile is the memory-box device timing; zero Name = SwitchProfile.
 	Profile simmem.Profile
 }
@@ -68,6 +78,10 @@ func (c TopologyConfig) withDefaults() TopologyConfig {
 	if c.RPCNanos == 0 {
 		c.RPCNanos = ManagerRPCNanos
 	}
+	if c.RPCRetry == nil {
+		c.RPCRetry = DefaultRPCRetry()
+	}
+	c.Health = c.Health.withDefaults()
 	if c.Profile.Name == "" {
 		c.Profile = SwitchProfile()
 	}
@@ -79,9 +93,10 @@ func (c TopologyConfig) withDefaults() TopologyConfig {
 // powered independently of any host, so their contents and lease state
 // survive host crashes (§3.2).
 type MemoryBox struct {
-	dev *simmem.Device
-	mgr *Manager
-	rpc *simnet.Fabric
+	dev    *simmem.Device
+	mgr    *Manager
+	rpc    *simnet.Fabric
+	failed atomic.Bool // power lost: contents, leases, and endpoint gone
 }
 
 // Device exposes the box's pooled memory device.
@@ -90,21 +105,34 @@ func (b *MemoryBox) Device() *simmem.Device { return b.dev }
 // Manager exposes the box's memory manager (direct, non-RPC access).
 func (b *MemoryBox) Manager() *Manager { return b.mgr }
 
+// Failed reports whether the box has lost power (Topology.FailBox).
+func (b *MemoryBox) Failed() bool { return b.failed.Load() }
+
 // InterSwitchLink is one leaf<->spine trunk: a bandwidth resource plus the
-// fixed per-traversal switch-forwarding latency.
+// fixed per-traversal switch-forwarding latency, carrying its own health
+// state machine.
 type InterSwitchLink struct {
-	res *simclock.Resource
-	lat int64
+	topo   *Topology
+	res    *simclock.Resource
+	lat    int64
+	health *health
 }
 
 // Resource exposes the trunk's queueing resource (stats, wait observers).
 func (l *InterSwitchLink) Resource() *simclock.Resource { return l.res }
 
 // Use charges one traversal of the trunk: the fixed forwarding latency plus
-// n bytes of trunk bandwidth (queueing behind concurrent traversals).
+// n bytes of trunk bandwidth (queueing behind concurrent traversals). A
+// Degraded trunk additionally occupies the link for (DegradeFactor-1) times
+// the service time — the stream really does take DegradeFactor times as
+// long — and counts the traversal on cxl.fabric.degraded.trunk.
 func (l *InterSwitchLink) Use(clk *simclock.Clock, n int64) {
 	clk.Advance(l.lat)
 	l.res.Use(clk, n)
+	if l.topo.chaosArmed() && l.health.observe(clk.Now()) == Degraded {
+		l.res.Occupy(clk, l.res.ServiceTime(n)*(l.health.pol.DegradeFactor-1))
+		l.topo.degradedTraversal(tierTrunk)
+	}
 }
 
 // Leaf is one leaf switch: its crossbar fabric, its memory box, and (in a
@@ -115,6 +143,17 @@ type Leaf struct {
 	fabric *simclock.Resource
 	box    *MemoryBox
 	uplink *InterSwitchLink // nil in a single-leaf topology
+	health *health          // crossbar health
+}
+
+// useFabric charges the crossbar like fabric.Use, plus the degraded-state
+// occupancy and counter when the crossbar is Degraded.
+func (l *Leaf) useFabric(clk *simclock.Clock, n int64) {
+	l.fabric.Use(clk, n)
+	if l.topo.chaosArmed() && l.health.observe(clk.Now()) == Degraded {
+		l.fabric.Occupy(clk, l.fabric.ServiceTime(n)*(l.health.pol.DegradeFactor-1))
+		l.topo.degradedTraversal(tierLeaf)
+	}
 }
 
 // Index reports the leaf's position in the topology.
@@ -140,10 +179,48 @@ type Topology struct {
 	leaves []*Leaf
 	spine  *simclock.Resource // nil for single-leaf topologies
 
+	// chaos arms the fault path: until an injector is installed or a chaos
+	// API fires, data routes skip health/injection checks entirely, so
+	// fault-free deployments keep the exact pre-fault cost model and replay
+	// sequences.
+	chaos atomic.Bool
+	// degLeaf/degTrunk cache the per-tier cxl.fabric.degraded.* counter
+	// handles so degraded traversals pay one atomic add, not a map lookup.
+	degLeaf, degTrunk atomic.Pointer[obs.Counter]
+
 	mu    sync.Mutex
 	hosts map[string]*HostPort
 	inj   fault.Injector // optional fault injector; may be nil
 	reg   *obs.Registry  // optional metrics sink; re-applied to new hosts
+}
+
+// chaosArmed reports whether any fault machinery is live.
+func (t *Topology) chaosArmed() bool { return t.chaos.Load() }
+
+// armChaos turns the fault path on (never off: conservative, and cheap —
+// the armed checks are mutex peeks against healthy states).
+func (t *Topology) armChaos() { t.chaos.Store(true) }
+
+// Degraded-traversal tiers.
+type tier int
+
+const (
+	tierLeaf tier = iota
+	tierTrunk
+)
+
+// degradedTraversal counts one traversal of a degraded component.
+func (t *Topology) degradedTraversal(ti tier) {
+	var c *obs.Counter
+	switch ti {
+	case tierLeaf:
+		c = t.degLeaf.Load()
+	case tierTrunk:
+		c = t.degTrunk.Load()
+	}
+	if c != nil {
+		c.Inc()
+	}
 }
 
 // NewTopology builds the fabric declared by cfg (zero fields get calibrated
@@ -166,11 +243,17 @@ func NewTopology(cfg TopologyConfig) *Topology {
 		box := &MemoryBox{dev: dev, rpc: simnet.New(cfg.RPCNanos, nil)}
 		box.mgr = newManager(dev)
 		box.mgr.register(box.rpc)
-		leaf := &Leaf{topo: t, idx: i, fabric: fabric, box: box}
+		rp := *cfg.RPCRetry // each fabric gets its own copy
+		box.rpc.SetRetryPolicy(&rp)
+		leaf := &Leaf{topo: t, idx: i, fabric: fabric, box: box,
+			health: newHealth(fabric.Name(), cfg.Health)}
 		if cfg.Leaves > 1 {
+			name := fmt.Sprintf("cxl-uplink/leaf%d", i)
 			leaf.uplink = &InterSwitchLink{
-				res: simclock.NewResource(fmt.Sprintf("cxl-uplink/leaf%d", i), cfg.InterSwitchBW),
-				lat: cfg.InterSwitchNanos,
+				topo:   t,
+				res:    simclock.NewResource(name, cfg.InterSwitchBW),
+				lat:    cfg.InterSwitchNanos,
+				health: newHealth(name, cfg.Health),
 			}
 		}
 		t.leaves = append(t.leaves, leaf)
@@ -231,7 +314,10 @@ func (t *Topology) AttachHost(name string, leaf int) (*HostPort, error) {
 }
 
 // SetInjector installs (or, with nil, removes) the fault injector consulted
-// at every host attach/detach point (HostPort Allocate, Reattach, Release).
+// at every host attach/detach point (HostPort Allocate, Reattach, Release),
+// at every data-route resolution (the fabric ops OpLeafXbar, OpTrunkXfer,
+// OpBoxAccess, fired in route order), and on every memory box's manager RPC
+// fabric (OpNetSend/OpNetRecv, where the retry policy absorbs transients).
 // Injection on the pooled memory devices is installed separately via each
 // box's Device().SetInjector, so recovery code can keep regions healthy
 // while region-mapping RPCs fail, or vice versa.
@@ -239,6 +325,12 @@ func (t *Topology) SetInjector(inj fault.Injector) {
 	t.mu.Lock()
 	t.inj = inj
 	t.mu.Unlock()
+	for _, l := range t.leaves {
+		l.box.rpc.SetInjector(inj)
+	}
+	if inj != nil {
+		t.armChaos()
+	}
 }
 
 func (t *Topology) injector() fault.Injector {
@@ -272,6 +364,8 @@ func (t *Topology) SetObserver(reg *obs.Registry) {
 	}
 	t.mu.Unlock()
 	if reg == nil {
+		t.degLeaf.Store(nil)
+		t.degTrunk.Store(nil)
 		for _, l := range t.leaves {
 			l.box.dev.SetObserver(nil)
 			l.box.rpc.SetObserver(nil)
@@ -285,6 +379,8 @@ func (t *Topology) SetObserver(reg *obs.Registry) {
 		}
 		return
 	}
+	t.degLeaf.Store(reg.Counter("cxl.fabric.degraded.leaf"))
+	t.degTrunk.Store(reg.Counter("cxl.fabric.degraded.trunk"))
 	leafH := reg.Histogram("cxl.fabric.leaf.wait_ns")
 	linkH := reg.Histogram("cxl.link.host.wait_ns")
 	for _, l := range t.leaves {
@@ -304,6 +400,106 @@ func (t *Topology) SetObserver(reg *obs.Registry) {
 		h.link.SetWaitObserver(func(w int64) { linkH.Observe(w) })
 	}
 }
+
+// Chaos APIs: explicit fault-domain control for tests and harnesses. All
+// transitions are virtual-time, so callers pass the observing clock's now.
+// Trunk APIs require a multi-leaf topology (single-leaf fabrics have no
+// trunks) and panic on a missing uplink — that is a harness bug, not a
+// runtime condition.
+
+func (t *Topology) trunk(leaf int) *InterSwitchLink {
+	l := t.leaves[leaf] // panics on out-of-range: harness bug
+	if l.uplink == nil {
+		panic(fmt.Sprintf("cxl: leaf %d has no trunk (single-leaf topology)", leaf))
+	}
+	return l.uplink
+}
+
+// FailTrunk downs leaf's spine trunk persistently (until RestoreTrunk):
+// cross-leaf routes over it become unreachable.
+func (t *Topology) FailTrunk(now int64, leaf int) {
+	t.armChaos()
+	t.trunk(leaf).health.fail(now, true)
+}
+
+// FlapTrunk downs leaf's spine trunk transiently: it self-repairs into
+// probation RepairNanos later.
+func (t *Topology) FlapTrunk(now int64, leaf int) {
+	t.armChaos()
+	t.trunk(leaf).health.fail(now, false)
+}
+
+// DegradeTrunk reduces leaf's trunk to 1/DegradeFactor of its bandwidth
+// until RestoreTrunk.
+func (t *Topology) DegradeTrunk(now int64, leaf int) {
+	t.armChaos()
+	t.trunk(leaf).health.degrade(now)
+}
+
+// RestoreTrunk repairs leaf's trunk into probation.
+func (t *Topology) RestoreTrunk(now int64, leaf int) {
+	t.armChaos()
+	t.trunk(leaf).health.restore(now)
+}
+
+// TrunkState reports leaf's trunk health at now.
+func (t *Topology) TrunkState(now int64, leaf int) HealthState {
+	return t.trunk(leaf).health.observe(now)
+}
+
+// FailLeaf downs leaf's crossbar persistently: every data route through the
+// leaf — hosts attached to it and allocations homed on it — is unreachable
+// until RestoreLeaf.
+func (t *Topology) FailLeaf(now int64, leaf int) {
+	t.armChaos()
+	t.leaves[leaf].health.fail(now, true)
+}
+
+// DegradeLeaf reduces leaf's crossbar to 1/DegradeFactor of its bandwidth.
+func (t *Topology) DegradeLeaf(now int64, leaf int) {
+	t.armChaos()
+	t.leaves[leaf].health.degrade(now)
+}
+
+// RestoreLeaf repairs leaf's crossbar into probation.
+func (t *Topology) RestoreLeaf(now int64, leaf int) {
+	t.armChaos()
+	t.leaves[leaf].health.restore(now)
+}
+
+// LeafState reports leaf's crossbar health at now.
+func (t *Topology) LeafState(now int64, leaf int) HealthState {
+	return t.leaves[leaf].health.observe(now)
+}
+
+// FailBox power-fails leaf's memory box: device contents become unreachable
+// (and are lost — PowerOn is replacement hardware), the manager's leases
+// are wiped, and its RPC endpoint deregisters, so control-plane calls fail
+// fast with ErrNoEndpoint instead of retrying into a dead controller. Data
+// routes ending at the box return ErrFabricUnreachable.
+func (t *Topology) FailBox(leaf int) {
+	t.armChaos()
+	b := t.leaves[leaf].box
+	b.failed.Store(true)
+	b.dev.PowerOff()
+	b.mgr.wipeLeases()
+	b.rpc.Deregister(mgrEndpoint)
+}
+
+// RestoreBox brings leaf's box back as REPLACEMENT hardware: an empty
+// zeroed device with no leases and a fresh manager endpoint. Anything that
+// lived there must be re-allocated and rebuilt from durable state elsewhere
+// (WAL, checkpoint areas, surviving replicas).
+func (t *Topology) RestoreBox(leaf int) {
+	b := t.leaves[leaf].box
+	b.dev.PowerOn()
+	b.mgr.wipeLeases()
+	b.mgr.register(b.rpc)
+	b.failed.Store(false)
+}
+
+// BoxFailed reports whether leaf's box is powered off.
+func (t *Topology) BoxFailed(leaf int) bool { return t.leaves[leaf].box.Failed() }
 
 // ResetStats clears accounting on every component — leaf crossbars, spine,
 // trunks, host links, and each box's manager RPC fabric — between experiment

@@ -1,0 +1,146 @@
+package fault
+
+// The randomized multi-fault chaos harness: where Sweep enumerates every
+// index of ONE operation class, ChaosSweep draws many seeded SCHEDULES, each
+// composing several fault kinds at random workload steps (trunk flaps, box
+// crashes, primary crashes, ...), and requires the driver's invariants to
+// hold after every run. The harness stays substrate-agnostic: a schedule is
+// just (step, kind, arg) triples, and the run closure interprets the kinds
+// against whatever deployment it builds.
+//
+// The repro contract matches Sweep's: schedules derive deterministically
+// from (Seed, run index), so any failure replays from its (seed, schedule
+// index) pair via ChaosScheduleFor — no log archaeology.
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// ChaosKind names one fault class a chaos schedule can fire. The harness
+// does not interpret kinds; the run closure does.
+type ChaosKind string
+
+// ChaosEvent is one scheduled fault: the run closure fires it immediately
+// before executing workload step Step (0-based). Arg is a deterministic
+// selector the closure maps onto its own domain (a trunk index, an instance
+// index) — typically modulo the domain size at fire time.
+type ChaosEvent struct {
+	Step int
+	Kind ChaosKind
+	Arg  int
+}
+
+// ChaosSchedule is one run's full fault schedule, sorted by step.
+type ChaosSchedule struct {
+	Seed   int64
+	Index  int // run index within the sweep
+	Events []ChaosEvent
+}
+
+// String prints the schedule compactly for failure reports.
+func (s ChaosSchedule) String() string {
+	parts := make([]string, len(s.Events))
+	for i, e := range s.Events {
+		parts[i] = fmt.Sprintf("@%d:%s(%d)", e.Step, e.Kind, e.Arg)
+	}
+	return fmt.Sprintf("seed=%d index=%d [%s]", s.Seed, s.Index, strings.Join(parts, " "))
+}
+
+// ChaosConfig parameterizes a randomized sweep.
+type ChaosConfig struct {
+	Seed  int64       // base seed; every run's schedule derives from (Seed, index)
+	Runs  int         // schedules to execute; default 1
+	Steps int         // workload steps per run; events land on [0, Steps)
+	Kinds []ChaosKind // fault classes to draw from (uniform); required
+	// MaxEvents caps the faults per schedule (default 3; always >= 1).
+	MaxEvents int
+	// MaxArg bounds each event's Arg selector in [0, MaxArg) (default 8).
+	MaxArg int
+}
+
+func (c ChaosConfig) withDefaults() ChaosConfig {
+	if c.Runs <= 0 {
+		c.Runs = 1
+	}
+	if c.Steps <= 0 {
+		c.Steps = 1
+	}
+	if c.MaxEvents <= 0 {
+		c.MaxEvents = 3
+	}
+	if c.MaxArg <= 0 {
+		c.MaxArg = 8
+	}
+	return c
+}
+
+// chaosMix is a splitmix64 finalizer over (seed, index) so adjacent run
+// indices get decorrelated rand streams.
+func chaosMix(seed int64, index int) int64 {
+	x := uint64(seed)*0x9e3779b97f4a7c15 + uint64(index+1)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int64(x)
+}
+
+// ChaosScheduleFor derives run index's schedule under cfg — the repro entry
+// point: re-running the closure against exactly this schedule replays a
+// failed (seed, schedule index) pair.
+func ChaosScheduleFor(cfg ChaosConfig, index int) ChaosSchedule {
+	cfg = cfg.withDefaults()
+	if len(cfg.Kinds) == 0 {
+		panic("fault: ChaosConfig.Kinds is required")
+	}
+	r := rand.New(rand.NewSource(chaosMix(cfg.Seed, index)))
+	n := 1 + r.Intn(cfg.MaxEvents)
+	evs := make([]ChaosEvent, n)
+	for i := range evs {
+		evs[i] = ChaosEvent{
+			Step: r.Intn(cfg.Steps),
+			Kind: cfg.Kinds[r.Intn(len(cfg.Kinds))],
+			Arg:  r.Intn(cfg.MaxArg),
+		}
+	}
+	// Sort by step (stable on the generation order) so the run closure can
+	// fire events with a single cursor.
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].Step < evs[j].Step })
+	return ChaosSchedule{Seed: cfg.Seed, Index: index, Events: evs}
+}
+
+// ChaosResult summarizes a randomized sweep.
+type ChaosResult struct {
+	Runs     int // schedules executed
+	Events   int // faults fired across all runs
+	Failures int // runs whose invariants failed
+}
+
+// ChaosSweep executes cfg.Runs seeded schedules. run must build a FRESH
+// deployment, execute its workload firing each schedule event before its
+// step, then verify every invariant (recovery converged, Fsck clean, no
+// observability violations), returning an error on any violation. Failures
+// are reported with the (seed, schedule index) pair and the full schedule;
+// ChaosScheduleFor(cfg, index) regenerates it for a targeted replay.
+func ChaosSweep(tb TB, cfg ChaosConfig, run func(s ChaosSchedule) error) ChaosResult {
+	tb.Helper()
+	cfg = cfg.withDefaults()
+	var res ChaosResult
+	for i := 0; i < cfg.Runs; i++ {
+		s := ChaosScheduleFor(cfg, i)
+		res.Runs++
+		res.Events += len(s.Events)
+		if err := run(s); err != nil {
+			res.Failures++
+			tb.Errorf("chaos sweep: FAILED %s: %v\n  repro: fault.ChaosScheduleFor(cfg, %d) with cfg.Seed=%d",
+				s, err, i, cfg.Seed)
+		}
+	}
+	tb.Logf("chaos sweep: seed=%d runs=%d events=%d failures=%d",
+		cfg.Seed, res.Runs, res.Events, res.Failures)
+	return res
+}

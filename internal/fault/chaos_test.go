@@ -1,0 +1,154 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func TestChaosScheduleDeterministic(t *testing.T) {
+	cfg := ChaosConfig{
+		Seed:      20260808,
+		Runs:      50,
+		Steps:     40,
+		MaxEvents: 4,
+		Kinds:     []ChaosKind{"trunk-flap", "box-crash", "primary-crash"},
+	}
+	for i := 0; i < cfg.Runs; i++ {
+		a := ChaosScheduleFor(cfg, i)
+		b := ChaosScheduleFor(cfg, i)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("schedule %d not deterministic:\n  %s\n  %s", i, a, b)
+		}
+		if len(a.Events) == 0 || len(a.Events) > cfg.MaxEvents {
+			t.Fatalf("schedule %d has %d events, want 1..%d", i, len(a.Events), cfg.MaxEvents)
+		}
+		if !sort.SliceIsSorted(a.Events, func(x, y int) bool {
+			return a.Events[x].Step < a.Events[y].Step
+		}) {
+			t.Fatalf("schedule %d not sorted by step: %s", i, a)
+		}
+		for _, e := range a.Events {
+			if e.Step < 0 || e.Step >= cfg.Steps {
+				t.Fatalf("schedule %d step %d out of [0,%d)", i, e.Step, cfg.Steps)
+			}
+			if e.Arg < 0 || e.Arg >= 8 {
+				t.Fatalf("schedule %d arg %d out of default [0,8)", i, e.Arg)
+			}
+		}
+	}
+}
+
+func TestChaosSchedulesDiffer(t *testing.T) {
+	// Adjacent indices (and different seeds) must decorrelate: across 50
+	// runs at least some schedules should differ.
+	cfg := ChaosConfig{Seed: 1, Runs: 50, Steps: 100, MaxEvents: 3, Kinds: []ChaosKind{"a", "b"}}
+	distinct := map[string]bool{}
+	for i := 0; i < cfg.Runs; i++ {
+		distinct[ChaosScheduleFor(cfg, i).String()] = true
+	}
+	if len(distinct) < 40 {
+		t.Fatalf("only %d/50 distinct schedules — derivation too correlated", len(distinct))
+	}
+	other := ChaosScheduleFor(ChaosConfig{Seed: 2, Steps: 100, MaxEvents: 3, Kinds: []ChaosKind{"a", "b"}}, 0)
+	same := ChaosScheduleFor(cfg, 0)
+	if reflect.DeepEqual(other.Events, same.Events) {
+		t.Fatalf("seed change did not change schedule 0")
+	}
+}
+
+func TestChaosSweepRunsAndReportsRepro(t *testing.T) {
+	cfg := ChaosConfig{Seed: 7, Runs: 20, Steps: 10, Kinds: []ChaosKind{"k"}}
+	rec := &fakeTB{}
+	var seen []int
+	res := ChaosSweep(rec, cfg, func(s ChaosSchedule) error {
+		seen = append(seen, s.Index)
+		if s.Index == 13 {
+			return fmt.Errorf("boom")
+		}
+		return nil
+	})
+	if res.Runs != 20 || res.Failures != 1 {
+		t.Fatalf("got %+v, want 20 runs 1 failure", res)
+	}
+	if res.Events == 0 {
+		t.Fatalf("no events counted")
+	}
+	for i, idx := range seen {
+		if i != idx {
+			t.Fatalf("run order broken at %d: got index %d", i, idx)
+		}
+	}
+	if len(rec.errors) != 1 {
+		t.Fatalf("want 1 error report, got %d: %v", len(rec.errors), rec.errors)
+	}
+	// The failure report must carry the (seed, schedule index) repro pair.
+	want := "seed=7 index=13"
+	if got := rec.errors[0]; !strings.Contains(got, want) || !strings.Contains(got, "ChaosScheduleFor(cfg, 13)") {
+		t.Fatalf("failure report missing repro pair %q: %s", want, got)
+	}
+}
+
+func TestChaosKindsRequired(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("ChaosScheduleFor without Kinds should panic")
+		}
+	}()
+	ChaosScheduleFor(ChaosConfig{Seed: 1}, 0)
+}
+
+// The new fabric fault ops and sentinels: errors.Is must see through the
+// wrapping Plan.Point applies, and the convenience arms must fire the right
+// sentinel at the right index.
+func TestFabricSentinelsThroughPlan(t *testing.T) {
+	cases := []struct {
+		name string
+		arm  func(*Plan)
+		op   Op
+		want error
+	}{
+		{"degrade", func(p *Plan) { p.DegradeAt(OpTrunkXfer, 2) }, OpTrunkXfer, ErrDegrade},
+		{"flap", func(p *Plan) { p.FlapAt(OpTrunkXfer, 2) }, OpTrunkXfer, ErrLinkFlap},
+		{"down", func(p *Plan) { p.FailAt(OpLeafXbar, 2, ErrLinkDown) }, OpLeafXbar, ErrLinkDown},
+		{"box-power", func(p *Plan) { p.FailAt(OpBoxAccess, 2, ErrBoxPower) }, OpBoxAccess, ErrBoxPower},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := NewPlan(1)
+			tc.arm(p)
+			if err := p.Point(tc.op, 16); err != nil {
+				t.Fatalf("index 1 fired early: %v", err)
+			}
+			err := p.Point(tc.op, 16)
+			if err == nil {
+				t.Fatalf("index 2 did not fire")
+			}
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("errors.Is(%v, %v) = false", err, tc.want)
+			}
+			if err := p.Point(tc.op, 16); err != nil {
+				t.Fatalf("one-shot trigger fired twice: %v", err)
+			}
+		})
+	}
+}
+
+func TestFabricOpsCountIndependently(t *testing.T) {
+	p := NewPlan(1)
+	p.FailAt(OpBoxAccess, 1, ErrBoxPower)
+	// Other fabric op classes keep their own counters: trunk points must not
+	// advance the box-access index.
+	if err := p.Point(OpTrunkXfer, 64); err != nil {
+		t.Fatalf("trunk point fired: %v", err)
+	}
+	if err := p.Point(OpLeafXbar, 0); err != nil {
+		t.Fatalf("xbar point fired: %v", err)
+	}
+	if err := p.Point(OpBoxAccess, 0); !errors.Is(err, ErrBoxPower) {
+		t.Fatalf("box-access index 1 should fire ErrBoxPower, got %v", err)
+	}
+}

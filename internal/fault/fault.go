@@ -68,6 +68,20 @@ const (
 	OpHostAttach Op = "host-attach"
 	// OpHostDetach: one cxl.HostPort release.
 	OpHostDetach Op = "host-detach"
+	// OpLeafXbar: one leaf-switch crossbar consulted at data-route
+	// resolution — the attachment leaf first, then the home leaf when the
+	// route crosses the spine. Failing it with a health sentinel (ErrDegrade,
+	// ErrLinkFlap, ErrLinkDown) transitions that crossbar's health state.
+	OpLeafXbar Op = "leaf-xbar"
+	// OpTrunkXfer: one leaf<->spine trunk consulted at data-route resolution
+	// on cross-leaf routes — the attachment leaf's uplink first, then the
+	// home leaf's. Bytes accumulate the transfer sizes, so FailAfterBytes
+	// models a trunk that dies after M bytes.
+	OpTrunkXfer Op = "trunk-xfer"
+	// OpBoxAccess: one memory box consulted at the end of every resolved
+	// data route. Failing it with ErrBoxPower kills the whole box: contents
+	// lost, leases wiped, manager endpoint deregistered.
+	OpBoxAccess Op = "box-access"
 )
 
 // Sentinel errors. Injected errors wrap one of these; use errors.Is (or the
@@ -87,6 +101,21 @@ var (
 	// ErrInjected is the generic FailAt payload used by sweeps that only
 	// need "this operation returned an error once" (EIO-style transients).
 	ErrInjected = errors.New("fault: injected transient failure")
+	// ErrDegrade is the FailAt payload that degrades the fabric component a
+	// route-resolution point (OpLeafXbar, OpTrunkXfer) names: the component
+	// keeps serving at reduced bandwidth until restored.
+	ErrDegrade = errors.New("fault: injected component degradation")
+	// ErrLinkFlap is the FailAt payload for a transient link failure: the
+	// component goes down, self-repairs after its health policy's repair
+	// window, and passes through probation before counting as healthy.
+	ErrLinkFlap = errors.New("fault: injected transient link failure (flap)")
+	// ErrLinkDown is the FailAt payload for a persistent link failure: the
+	// component stays down until explicitly restored.
+	ErrLinkDown = errors.New("fault: injected persistent link failure")
+	// ErrBoxPower is the FailAt payload for whole-memory-box power loss at
+	// an OpBoxAccess point: device contents, allocation leases, and the
+	// manager RPC endpoint are all lost.
+	ErrBoxPower = errors.New("fault: injected memory-box power loss")
 )
 
 // Injector is consulted before an instrumented operation executes. A nil
@@ -219,6 +248,18 @@ func (p *Plan) FailAt(op Op, index int64, err error) *Plan {
 // exceed limit — every subsequent occurrence fails with err.
 func (p *Plan) FailAfterBytes(op Op, limit int64, err error) *Plan {
 	return p.arm(&trigger{op: op, afterBytes: limit, act: actFail, err: err, persistent: true})
+}
+
+// DegradeAt arms ErrDegrade on the index-th occurrence of op — shorthand for
+// degrading the fabric component a route-resolution point names.
+func (p *Plan) DegradeAt(op Op, index int64) *Plan {
+	return p.FailAt(op, index, ErrDegrade)
+}
+
+// FlapAt arms ErrLinkFlap on the index-th occurrence of op — a transient
+// component failure that self-repairs through probation.
+func (p *Plan) FlapAt(op Op, index int64) *Plan {
+	return p.FailAt(op, index, ErrLinkFlap)
 }
 
 // ReverseFlushAt makes the index-th Cache.Flush call process its lines in

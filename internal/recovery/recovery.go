@@ -278,6 +278,68 @@ func Recover(clk *simclock.Clock, scheme string, pool buffer.Creator, ws *wal.St
 	return engine, res, nil
 }
 
+// Failover rebuilds an instance on a *fresh* CXL region after the memory
+// box hosting its pool died: there is no surviving image to trust, so the
+// region is formatted from scratch and every page touched since the last
+// checkpoint is reconstructed from shared storage plus the retained WAL
+// tail, then uncommitted work is undone. This is the cross-leaf relocation
+// path — the region typically lives on a *different* leaf than the dead
+// pool, and the checkpoint area (when it survived on yet another leaf)
+// bounds the redo scan exactly as it does for an in-place PolarRecv.
+//
+// The scan starts at the later of the checkpoint and the WAL truncation
+// floor: checkpoint truncation guarantees every record below the floor was
+// flushed to storage before being discarded, and the ARIES LSN guard in
+// mtr.Apply makes re-applying any already-flushed record a no-op, so
+// clamping to the floor is always sufficient and never replays stale state.
+// A nil ckpt (the area died with its box, or checkpointing was never
+// enabled) degrades to the store-recorded checkpoint, or to a full redo
+// from the truncation floor when there is none.
+func Failover(clk *simclock.Clock, host *cxl.HostPort, region *simmem.Region, cache *simcpu.Cache, ws *wal.Store, store *storage.Store, ckpt *checkpoint.Area) (*core.CXLPool, *txn.Engine, *Result, error) {
+	res := &Result{Scheme: "failover", StartNanos: clk.Now(), DurableLSN: ws.DurableLSN()}
+	ckptLSN, err := checkpointFor(clk, ws, ckpt)
+	if err != nil {
+		return nil, nil, res, err
+	}
+	res.CheckpointLSN = ckptLSN
+	from := ckptLSN + 1
+	if floor := ws.TruncatedBefore(); from < floor {
+		from = floor
+	}
+	pool, err := core.Format(host, region, cache, store)
+	if err != nil {
+		return nil, nil, res, fmt.Errorf("failover: format replacement region: %w", err)
+	}
+	if res.LogScanBytes, err = chargeLogScan(clk, ws, from); err != nil {
+		return nil, nil, res, err
+	}
+	a, err := analyze(ws, from)
+	if err != nil {
+		return nil, nil, res, err
+	}
+	res.RedoRecords = a.records
+	applied, rerr := redoThroughPool(clk, pool, a)
+	res.RedoApplied = applied
+	if rerr != nil {
+		return nil, nil, res, rerr
+	}
+	res.PagesRebuilt = len(a.perPage)
+	store.BumpNextID(a.maxPageID)
+	log := wal.Attach(ws)
+	engine, err := txn.Attach(clk, pool, log, store)
+	if err != nil {
+		return nil, nil, res, err
+	}
+	res.UndoOps, res.UndoneTxns, err = undo(clk, engine, a)
+	if err != nil {
+		return nil, nil, res, err
+	}
+	res.WarmPages = pool.Resident()
+	res.DoneNanos = clk.Now()
+	recordResult(res)
+	return pool, engine, res, nil
+}
+
 // PolarRecv runs the paper's instant recovery over the surviving CXL
 // region: scan metadata, trust unlocked/not-too-new pages in place, rebuild
 // only the in-flight ones, then undo. ckpt, when non-nil, is the instance's

@@ -172,7 +172,9 @@ func (f *Fusion) reclaimWriteHeld(clk *simclock.Clock, ps *pageState, node strin
 	if err := f.region.WriteRaw(ps.off, img); err != nil {
 		return err
 	}
-	f.host.TransferWrite(clk, page.Size)
+	if err := f.host.TransferWrite(clk, page.Size); err != nil {
+		return err
+	}
 	o := f.obsState()
 	f.mu.Lock()
 	ps.dirty = dirty

@@ -372,7 +372,9 @@ func (f *Fusion) GetPage(clk *simclock.Clock, node string, pageID uint64, fa fla
 		if err := f.region.WriteRaw(off, img); err != nil {
 			return 0, err
 		}
-		f.host.TransferWrite(clk, page.Size)
+		if err := f.host.TransferWrite(clk, page.Size); err != nil {
+			return 0, err
+		}
 		f.mu.Lock()
 	}
 	f.lruTick++
@@ -408,7 +410,9 @@ func (f *Fusion) CreatePage(clk *simclock.Clock, node string, pageID uint64, fa 
 	if err := f.region.WriteRaw(off, make([]byte, page.Size)); err != nil {
 		return 0, err
 	}
-	f.host.TransferWrite(clk, page.Size)
+	if err := f.host.TransferWrite(clk, page.Size); err != nil {
+		return 0, err
+	}
 	return off, nil
 }
 
@@ -457,7 +461,9 @@ func (f *Fusion) FlushDirty(clk *simclock.Clock, barrier func(*simclock.Clock, u
 		o.emit(clk.Now(), obs.EvLockGrant, fusionNode, ps.id, 0)
 		err := f.region.ReadRaw(ps.off, img)
 		if err == nil {
-			f.host.TransferRead(clk, page.Size)
+			err = f.host.TransferRead(clk, page.Size)
+		}
+		if err == nil {
 			if barrier != nil {
 				barrier(clk, page.RawLSN(img))
 			}
@@ -643,7 +649,9 @@ func (f *Fusion) recycleLocked(clk *simclock.Clock) error {
 		if err := f.region.ReadRaw(victim.off, img); err != nil {
 			return err
 		}
-		f.host.TransferRead(clk, page.Size)
+		if err := f.host.TransferRead(clk, page.Size); err != nil {
+			return err
+		}
 		if err := f.store.WritePage(clk, victim.id, img); err != nil {
 			return err
 		}

@@ -20,6 +20,7 @@ package simmem
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -28,6 +29,12 @@ import (
 	"polarcxlmem/internal/obs"
 	"polarcxlmem/internal/simclock"
 )
+
+// ErrPoweredOff is returned by every access to a device that has lost power
+// (Device.PowerOff). Unlike an injected transient fault, it persists until
+// PowerOn, which models swapping in REPLACEMENT hardware: contents are
+// zeroed, not restored.
+var ErrPoweredOff = errors.New("simmem: device is powered off")
 
 // LineSize is the coherence granularity: one CPU cache line.
 const LineSize = 64
@@ -69,6 +76,7 @@ type Device struct {
 	mu   sync.RWMutex
 	data []byte
 	prof Profile
+	off  bool                      // powered off: every access fails
 	bw   *simclock.Resource        // optional shared bandwidth; may be nil
 	inj  fault.Injector            // optional fault injector; may be nil
 	obsP atomic.Pointer[deviceObs] // optional metrics sink; may be empty
@@ -136,6 +144,36 @@ func (d *Device) SetObserver(reg *obs.Registry) {
 	})
 }
 
+// PowerOff kills the device: every subsequent access, raw or costed, fails
+// with ErrPoweredOff. Contents are retained in the struct but unreachable —
+// the failure-domain model for whole-memory-box power loss.
+func (d *Device) PowerOff() {
+	d.mu.Lock()
+	d.off = true
+	d.mu.Unlock()
+}
+
+// PowerOn restores the device as REPLACEMENT hardware: accesses succeed
+// again, but the contents are zeroed. A memory box that loses power loses
+// its data; anything durable must be rebuilt from another domain (WAL,
+// checkpoint area, surviving replicas).
+func (d *Device) PowerOn() {
+	d.mu.Lock()
+	d.off = false
+	for i := range d.data {
+		d.data[i] = 0
+	}
+	d.mu.Unlock()
+}
+
+// PoweredOff reports whether the device has lost power.
+func (d *Device) PoweredOff() bool {
+	d.mu.RLock()
+	off := d.off
+	d.mu.RUnlock()
+	return off
+}
+
 // Region returns a bounds-checked view of [off, off+size).
 // The bounds test is written subtraction-form so a huge off+size cannot
 // overflow int64 and pass.
@@ -191,6 +229,11 @@ func (r *Region) ReadRaw(off int64, buf []byte) error {
 	if err := r.check(off, len(buf)); err != nil {
 		return err
 	}
+	// Power loss precedes injection: a dead device receives no operations,
+	// so its fault-plan op counters must not advance.
+	if r.dev.PoweredOff() {
+		return fmt.Errorf("simmem: read %q: %w", r.dev.name, ErrPoweredOff)
+	}
 	if inj := r.dev.injector(); inj != nil {
 		if err := inj.Point(fault.OpMemRead, int64(len(buf))); err != nil {
 			if fault.IsDrop(err) {
@@ -213,6 +256,9 @@ func (r *Region) ReadRaw(off int64, buf []byte) error {
 func (r *Region) WriteRaw(off int64, data []byte) error {
 	if err := r.check(off, len(data)); err != nil {
 		return err
+	}
+	if r.dev.PoweredOff() {
+		return fmt.Errorf("simmem: write %q: %w", r.dev.name, ErrPoweredOff)
 	}
 	if inj := r.dev.injector(); inj != nil {
 		if err := inj.Point(fault.OpMemWrite, int64(len(data))); err != nil {

@@ -2,9 +2,11 @@ package simmem
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 	"testing/quick"
 
+	"polarcxlmem/internal/fault"
 	"polarcxlmem/internal/simclock"
 )
 
@@ -230,5 +232,82 @@ func TestDataSurvivesRegionDrop(t *testing.T) {
 	}
 	if string(buf) != "durable" {
 		t.Fatalf("post-crash contents %q", buf)
+	}
+}
+
+func TestPowerLossFailsEveryAccess(t *testing.T) {
+	d := NewDevice("box", 256, testProf, nil)
+	r := d.WholeRegion()
+	if err := r.WriteRaw(0, []byte("live")); err != nil {
+		t.Fatal(err)
+	}
+	d.PowerOff()
+	if !d.PoweredOff() {
+		t.Fatal("PoweredOff false after PowerOff")
+	}
+	clk := simclock.New()
+	buf := make([]byte, 4)
+	for name, err := range map[string]error{
+		"ReadRaw":  r.ReadRaw(0, buf),
+		"WriteRaw": r.WriteRaw(0, buf),
+		"ReadAt":   r.ReadAt(clk, 0, buf),
+		"WriteAt":  r.WriteAt(clk, 0, buf),
+		"Store64":  r.Store64(clk, 0, 1),
+	} {
+		if !errors.Is(err, ErrPoweredOff) {
+			t.Fatalf("%s on dead device: got %v, want ErrPoweredOff", name, err)
+		}
+	}
+	if _, err := r.Load64(clk, 0); !errors.Is(err, ErrPoweredOff) {
+		t.Fatalf("Load64 on dead device: %v", err)
+	}
+	if _, err := r.Load64Raw(0); !errors.Is(err, ErrPoweredOff) {
+		t.Fatalf("Load64Raw on dead device: %v", err)
+	}
+	if clk.Now() != 0 {
+		t.Fatalf("failed accesses must not charge cost, clock at %d", clk.Now())
+	}
+}
+
+func TestPowerOnIsReplacementHardware(t *testing.T) {
+	d := NewDevice("box", 64, testProf, nil)
+	r := d.WholeRegion()
+	if err := r.WriteRaw(0, []byte("gone")); err != nil {
+		t.Fatal(err)
+	}
+	d.PowerOff()
+	d.PowerOn()
+	if d.PoweredOff() {
+		t.Fatal("still powered off after PowerOn")
+	}
+	buf := make([]byte, 4)
+	if err := r.ReadRaw(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) == "gone" {
+		t.Fatal("PowerOn must zero contents (replacement hardware), old bytes survived")
+	}
+}
+
+func TestPowerLossDoesNotAdvanceFaultCounters(t *testing.T) {
+	// A dead device receives no operations, so fault-plan op indices must
+	// not move while it is off — (seed, index) repro pairs stay stable.
+	d := NewDevice("box", 64, testProf, nil)
+	p := fault.NewPlan(1)
+	p.FailAt(fault.OpMemWrite, 2, fault.ErrInjected)
+	d.SetInjector(p)
+	r := d.WholeRegion()
+	if err := r.WriteRaw(0, []byte{1}); err != nil {
+		t.Fatal(err) // index 1
+	}
+	d.PowerOff()
+	for i := 0; i < 5; i++ {
+		if err := r.WriteRaw(0, []byte{1}); !errors.Is(err, ErrPoweredOff) {
+			t.Fatalf("dead write %d: %v", i, err)
+		}
+	}
+	d.PowerOn()
+	if err := r.WriteRaw(0, []byte{1}); !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("write after PowerOn should be op index 2 and fire: %v", err)
 	}
 }

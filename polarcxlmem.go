@@ -79,10 +79,23 @@ var (
 	ErrCrashed = errors.New("polarcxlmem: instance has crashed")
 	// ErrNotCrashed: Recover was called on a live instance.
 	ErrNotCrashed = errors.New("polarcxlmem: instance has not crashed")
+	// ErrBoxHealthy: Failover was called for an instance whose memory box is
+	// still alive — the buffer pool image survived, so Recover (PolarRecv) is
+	// the right restart path, not a cross-leaf rebuild.
+	ErrBoxHealthy = errors.New("polarcxlmem: instance's memory box is healthy")
+	// ErrPlacementPinned: Failover cannot relocate an instance whose
+	// InstanceConfig.Placement pins the buffer pool to a specific leaf; the
+	// operator asked for that leaf and nothing else.
+	ErrPlacementPinned = errors.New("polarcxlmem: instance placement is pinned")
 )
 
 // ErrKeyNotFound is re-exported for callers.
 var ErrKeyNotFound = btree.ErrKeyNotFound
+
+// ErrFabricUnreachable is re-exported from the cxl fabric: any data-path
+// operation that needs a failed trunk or leaf crossbar — or a powered-off
+// memory box — wraps it. Branch with errors.Is.
+var ErrFabricUnreachable = cxl.ErrFabricUnreachable
 
 // Option configures cluster construction (NewCluster, NewSharingCluster).
 type Option func(*clusterOptions)
@@ -137,9 +150,14 @@ type ClusterConfig struct {
 type Placement struct {
 	// HostLeaf is the leaf switch the instance's host attaches to.
 	HostLeaf int
-	// PoolLeaf is the leaf whose memory box holds the buffer pool (and the
-	// checkpoint area, when enabled).
+	// PoolLeaf is the leaf whose memory box holds the buffer pool.
 	PoolLeaf int
+	// CheckpointLeaf is the leaf whose box holds the CXL-durable checkpoint
+	// area (when InstanceConfig.Checkpoint is enabled). Negative = co-locate
+	// with the buffer pool. Placing it on a DIFFERENT leaf keeps the
+	// checkpoint record reachable when the pool's box dies, so Failover can
+	// bound its redo scan instead of replaying from the truncation floor.
+	CheckpointLeaf int
 }
 
 // InstanceConfig describes one database instance. Name and PoolPages are
@@ -190,6 +208,7 @@ type Cluster struct {
 	instances  map[string]*Instance
 	placement  map[string]int            // instance -> pool (box) leaf index
 	hostLeaves map[string]int            // instance -> host attachment leaf
+	ckptLeaves map[string]int            // instance -> checkpoint-area leaf
 	configs    map[string]InstanceConfig // as started; re-applied on Recover
 
 	reg *obs.Registry
@@ -216,6 +235,7 @@ func NewCluster(cfg ClusterConfig, opts ...Option) (*Cluster, error) {
 		instances:  make(map[string]*Instance),
 		placement:  make(map[string]int),
 		hostLeaves: make(map[string]int),
+		ckptLeaves: make(map[string]int),
 		configs:    make(map[string]InstanceConfig),
 		reg:        o.reg,
 		inj:        o.inj,
@@ -244,10 +264,14 @@ func NewCluster(cfg ClusterConfig, opts ...Option) (*Cluster, error) {
 }
 
 // place picks the leaf whose memory box has the most unallocated memory for
-// a new allocation of size bytes, or an error if nothing fits.
+// a new allocation of size bytes, or an error if nothing fits. Failed
+// (powered-off) boxes are never candidates.
 func (c *Cluster) place(size int64) (int, error) {
 	best, bestFree := -1, int64(-1)
 	for i := 0; i < c.topo.Leaves(); i++ {
+		if c.topo.BoxFailed(i) {
+			continue
+		}
 		box := c.topo.Leaf(i).Box()
 		free := box.Device().Size() - box.Manager().Allocated()
 		if free >= size && free > bestFree {
@@ -288,12 +312,12 @@ func (c *Cluster) Start(cfg InstanceConfig) (*Instance, error) {
 		return nil, fmt.Errorf("%w: %q", ErrInstanceExists, cfg.Name)
 	}
 	clk := simclock.New()
-	poolLeaf, hostLeaf := -1, -1
+	poolLeaf, hostLeaf, ckptLeaf := -1, -1, -1
 	if cfg.Placement != nil {
-		poolLeaf, hostLeaf = cfg.Placement.PoolLeaf, cfg.Placement.HostLeaf
-		if poolLeaf >= c.topo.Leaves() || hostLeaf >= c.topo.Leaves() {
-			return nil, fmt.Errorf("polarcxlmem: instance %q placement (host %d, pool %d) exceeds topology (%d leaves)",
-				cfg.Name, hostLeaf, poolLeaf, c.topo.Leaves())
+		poolLeaf, hostLeaf, ckptLeaf = cfg.Placement.PoolLeaf, cfg.Placement.HostLeaf, cfg.Placement.CheckpointLeaf
+		if poolLeaf >= c.topo.Leaves() || hostLeaf >= c.topo.Leaves() || ckptLeaf >= c.topo.Leaves() {
+			return nil, fmt.Errorf("polarcxlmem: instance %q placement (host %d, pool %d, ckpt %d) exceeds topology (%d leaves)",
+				cfg.Name, hostLeaf, poolLeaf, ckptLeaf, c.topo.Leaves())
 		}
 	}
 	if poolLeaf < 0 {
@@ -332,10 +356,15 @@ func (c *Cluster) Start(cfg InstanceConfig) (*Instance, error) {
 	}
 	inst := &Instance{name: cfg.Name, cluster: c, clk: clk, pool: pool, eng: eng}
 	if cfg.Checkpoint != nil {
-		// The checkpoint record lives in its own tiny CXL region on the same
-		// switch domain as the buffer pool, so it survives host crashes with
-		// the pool and is reattachable by name on Recover.
-		ckReg, err := host.Allocate(clk, cfg.Name+"-ckpt", checkpoint.AreaSize)
+		// The checkpoint record lives in its own tiny CXL region — by default
+		// on the same switch domain as the buffer pool, so it survives host
+		// crashes with the pool and is reattachable by name on Recover.
+		// Placement.CheckpointLeaf moves it to a different box, where it also
+		// survives the POOL box's death and bounds Failover's redo scan.
+		if ckptLeaf < 0 {
+			ckptLeaf = poolLeaf
+		}
+		ckReg, err := host.AllocateAt(clk, ckptLeaf, cfg.Name+"-ckpt", checkpoint.AreaSize)
 		if err != nil {
 			return nil, err
 		}
@@ -343,6 +372,7 @@ func (c *Cluster) Start(cfg InstanceConfig) (*Instance, error) {
 		if err != nil {
 			return nil, err
 		}
+		c.ckptLeaves[cfg.Name] = ckptLeaf
 	}
 	if err := c.applyInstanceOptions(inst, cfg); err != nil {
 		return nil, err
@@ -433,7 +463,7 @@ func (c *Cluster) Recover(name string) (*Instance, *recovery.Result, error) {
 	cache := host.NewCache(name, cfg.CacheBytes)
 	var area *checkpoint.Area
 	if cfg.Checkpoint != nil {
-		ckReg, err := host.Reattach(clk, name+"-ckpt")
+		ckReg, err := host.ReattachAt(clk, c.ckptLeaves[name], name+"-ckpt")
 		if err != nil {
 			return nil, nil, err
 		}
@@ -449,6 +479,128 @@ func (c *Cluster) Recover(name string) (*Instance, *recovery.Result, error) {
 	if err := c.applyInstanceOptions(inst, cfg); err != nil {
 		return nil, nil, err
 	}
+	c.instances[name] = inst
+	return inst, res, nil
+}
+
+// FailBox simulates whole-memory-box power loss on a leaf: the box's device
+// refuses all access, its manager's lease table is gone, and its control
+// endpoint deregisters. Every instance whose buffer pool lives on that box
+// is crashed (the pool image is unreachable, which to the host is
+// indistinguishable from losing it). Restart those instances with Failover
+// — their pool image did NOT survive, so Recover's PolarRecv path does not
+// apply.
+func (c *Cluster) FailBox(leaf int) error {
+	if leaf < 0 || leaf >= c.topo.Leaves() {
+		return fmt.Errorf("polarcxlmem: no leaf %d (topology has %d)", leaf, c.topo.Leaves())
+	}
+	c.topo.FailBox(leaf)
+	for name, inst := range c.instances {
+		if c.placement[name] == leaf {
+			inst.Crash()
+		}
+	}
+	return nil
+}
+
+// RestoreBox powers leaf's memory box back on as replacement hardware:
+// zeroed memory, empty lease table. Instances that failed over elsewhere
+// keep running where they are; the leaf becomes a placement candidate
+// again.
+func (c *Cluster) RestoreBox(leaf int) error {
+	if leaf < 0 || leaf >= c.topo.Leaves() {
+		return fmt.Errorf("polarcxlmem: no leaf %d (topology has %d)", leaf, c.topo.Leaves())
+	}
+	c.topo.RestoreBox(leaf)
+	return nil
+}
+
+// BoxFailed reports whether leaf's memory box is powered off.
+func (c *Cluster) BoxFailed(leaf int) bool { return c.topo.BoxFailed(leaf) }
+
+// Failover restarts an instance whose memory box died by rebuilding it on a
+// surviving leaf: a fresh region is allocated on the emptiest healthy box,
+// formatted, and reconstructed from shared storage plus the retained WAL
+// (redo from the last reachable checkpoint, then undo). When the instance's
+// checkpoint area lives on a box that survived — see
+// Placement.CheckpointLeaf — the redo scan is bounded by its published
+// checkpoint exactly as on an in-place Recover; when the area died with the
+// pool, Failover falls back to the WAL truncation floor and re-arms the
+// checkpointer over a fresh area next to the new pool.
+//
+// Failover refuses instances that are still live (ErrNotCrashed), whose box
+// is healthy (ErrBoxHealthy — use Recover, the pool image survived), or
+// whose Placement pins the pool to a leaf (ErrPlacementPinned).
+func (c *Cluster) Failover(name string) (*Instance, *recovery.Result, error) {
+	old, ok := c.instances[name]
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: %q", ErrUnknownInstance, name)
+	}
+	if !old.crashed {
+		return nil, nil, fmt.Errorf("%w: instance %q is live", ErrNotCrashed, name)
+	}
+	deadLeaf := c.placement[name]
+	if !c.topo.BoxFailed(deadLeaf) {
+		return nil, nil, fmt.Errorf("%w: instance %q's pool box on leaf %d is up; use Recover", ErrBoxHealthy, name, deadLeaf)
+	}
+	cfg := c.configs[name]
+	if cfg.Placement != nil && cfg.Placement.PoolLeaf >= 0 {
+		return nil, nil, fmt.Errorf("%w: instance %q pool is pinned to leaf %d", ErrPlacementPinned, name, cfg.Placement.PoolLeaf)
+	}
+	if cfg.CacheBytes <= 0 {
+		cfg.CacheBytes = 8 << 20
+	}
+	size := core.RegionSizeFor(cfg.PoolPages)
+	newLeaf, err := c.place(size)
+	if err != nil {
+		return nil, nil, err
+	}
+	clk := simclock.NewAt(old.clk.Now())
+	host, err := c.topo.AttachHost(name+"-host", c.hostLeaves[name])
+	if err != nil {
+		return nil, nil, err
+	}
+	region, err := host.AllocateOn(clk, newLeaf, name, size)
+	if err != nil {
+		return nil, nil, err
+	}
+	cache := host.NewCache(name, cfg.CacheBytes)
+	// The checkpoint area either survived on another leaf (bounds redo) or
+	// died with the pool box (fresh area, redo from the truncation floor).
+	var survived, fresh *checkpoint.Area
+	if cfg.Checkpoint != nil {
+		areaLeaf := c.ckptLeaves[name]
+		if !c.topo.BoxFailed(areaLeaf) {
+			ckReg, err := host.ReattachAt(clk, areaLeaf, name+"-ckpt")
+			if err != nil {
+				return nil, nil, err
+			}
+			if survived, err = checkpoint.NewArea(ckReg); err != nil {
+				return nil, nil, err
+			}
+		} else {
+			ckReg, err := host.AllocateAt(clk, newLeaf, name+"-ckpt", checkpoint.AreaSize)
+			if err != nil {
+				return nil, nil, err
+			}
+			if fresh, err = checkpoint.NewArea(ckReg); err != nil {
+				return nil, nil, err
+			}
+			c.ckptLeaves[name] = newLeaf
+		}
+	}
+	pool, eng, res, err := recovery.Failover(clk, host, region, cache, c.wals[name], c.stores[name], survived)
+	if err != nil {
+		return nil, nil, err
+	}
+	inst := &Instance{name: name, cluster: c, clk: clk, pool: pool, eng: eng, ckpt: survived}
+	if inst.ckpt == nil {
+		inst.ckpt = fresh
+	}
+	if err := c.applyInstanceOptions(inst, cfg); err != nil {
+		return nil, nil, err
+	}
+	c.placement[name] = newLeaf
 	c.instances[name] = inst
 	return inst, res, nil
 }
@@ -476,6 +628,15 @@ func (c *Cluster) Observer() *obs.Registry { return c.reg }
 // PlacementOf reports which switch domain hosts an instance's buffer pool.
 func (c *Cluster) PlacementOf(name string) (int, bool) {
 	i, ok := c.placement[name]
+	return i, ok
+}
+
+// CheckpointLeafOf reports which leaf's box holds an instance's checkpoint
+// area (ok=false when the instance has none). Operators planning box
+// maintenance use it to know which instances lose their bounded-redo
+// guarantee if a given box goes down.
+func (c *Cluster) CheckpointLeafOf(name string) (int, bool) {
+	i, ok := c.ckptLeaves[name]
 	return i, ok
 }
 
