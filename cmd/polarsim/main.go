@@ -15,7 +15,6 @@ import (
 	"os"
 
 	"polarcxlmem"
-	"polarcxlmem/internal/simclock"
 )
 
 func main() {
@@ -128,7 +127,6 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	_ = simclock.Second
 }
 
 func trim(b []byte) string {

@@ -66,10 +66,9 @@ func main() {
 		log.Fatal(err)
 	}
 	sc.Node(3).Read(clk, pid2, 64, buf)
-	fmt.Printf("\nwith coherency DISABLED, node-3 still sees %d after node-0 wrote 99 (stale cache line)\n",
-		binary.LittleEndian.Uint64(buf))
+	fmt.Printf("\nnode-3 cached %d; with coherency DISABLED it still sees %d after node-0 wrote 99 (stale cache line)\n",
+		before, binary.LittleEndian.Uint64(buf))
 	sc.Node(3).DisableCoherency = false
 	sc.Node(3).Read(clk, pid2, 64, buf)
 	fmt.Printf("with coherency ENABLED, node-3 sees %d\n", binary.LittleEndian.Uint64(buf))
-	_ = before
 }

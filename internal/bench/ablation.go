@@ -6,12 +6,10 @@ import (
 	"math/rand"
 
 	"polarcxlmem/internal/buffer"
-	"polarcxlmem/internal/core"
 	"polarcxlmem/internal/cxl"
 	"polarcxlmem/internal/page"
 	"polarcxlmem/internal/perf"
 	"polarcxlmem/internal/recovery"
-	"polarcxlmem/internal/sharing"
 	"polarcxlmem/internal/simclock"
 	"polarcxlmem/internal/storage"
 	"polarcxlmem/internal/txn"
@@ -116,8 +114,6 @@ func (p *cxlTieredPool) Get(clk *simclock.Clock, id uint64, mode buffer.Mode) (b
 	f := &abFrame{id: id, img: make([]byte, page.Size), pins: 1}
 	if p.off(id)+page.Size <= p.region.Size() {
 		// Full-page copy CXL -> DRAM on every miss: read amplification.
-		var probe [8]byte
-		_ = probe
 		if err := p.region.ReadRaw(p.off(id), f.img); err != nil {
 			return nil, err
 		}
@@ -432,6 +428,3 @@ func runAblateSync(cfg Config) ([]*Table, error) {
 		"so the amplification gap closes as the dirtied span approaches the page size — the §3.3 'Benefits' claim")
 	return []*Table{t}, nil
 }
-
-var _ = sharing.RPCNanos // referenced for documentation parity
-var _ = core.BlockSize

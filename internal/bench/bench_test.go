@@ -49,7 +49,7 @@ func cell(t *testing.T, tb *Table, row, col int) float64 {
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"table1", "table2", "table3", "fig1", "fig3", "fig7", "fig8", "fig9",
 		"fig10", "fig11", "fig12", "fig13", "ablate-tier", "ablate-meta", "ablate-sync", "cxl3",
-		"doorbell", "mp-engine"}
+		"doorbell", "mp-engine", "dataplane"}
 	for _, id := range want {
 		if _, ok := ByID(id); !ok {
 			t.Errorf("experiment %q missing from registry", id)

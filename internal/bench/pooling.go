@@ -5,7 +5,6 @@ import (
 	"math/rand"
 
 	"polarcxlmem/internal/cxl"
-	"polarcxlmem/internal/page"
 	"polarcxlmem/internal/perf"
 	"polarcxlmem/internal/rdma"
 	"polarcxlmem/internal/simclock"
@@ -291,5 +290,3 @@ func runFig9(cfg Config) ([]*Table, error) {
 	t.Notes = append(t.Notes, "paper: RDMA saturates at 8 instances; single-instance RDMA bandwidth ~40% above CXL (write amplification)")
 	return []*Table{t}, nil
 }
-
-var _ = page.Size // keep page import for future use in this file

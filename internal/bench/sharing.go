@@ -353,6 +353,7 @@ func runTable3(cfg Config) ([]*Table, error) {
 		res     perf.Result
 		dem     perf.Demands
 		qPerTxn float64
+		cpuPerQ float64 // measured engine CPU per query (virtual ns)
 	}
 	runSys := func(system string, lbpFrac float64, kind string) (sysResult, error) {
 		clk := simclock.New()
@@ -391,9 +392,7 @@ func runTable3(cfg Config) ([]*Table, error) {
 				return sysResult{}, err
 			}
 			runTxn = func(i int) error { return tp.Txn(clk, rig.node(i%nodes), i%nodes, rng) }
-			queries = &tp.NewOrders // placeholder; replaced below
 			cpuNs = &tp.CPUNs
-			_ = queries
 			holdProbe = func() float64 { return 40000 }
 			// For TPC-C we count transactions; queries tracked via CPU charge count is
 			// impractical, so use ~23 statements per weighted txn.
@@ -430,15 +429,15 @@ func runTable3(cfg Config) ([]*Table, error) {
 			cpuNs = &tp.CPUNs
 			holdProbe = func() float64 { return 30000 }
 		}
-		_ = cpuNs
 		total := (warm + meas) * nodes
 		warmOps := warm * nodes
 		startClk, startQ, startTxns := int64(0), int64(0), int64(0)
-		startNIC, startFabric := int64(0), int64(0)
+		startNIC, startFabric, startCPU := int64(0), int64(0), int64(0)
 		for i := 0; i < total; i++ {
 			if i == warmOps {
 				startClk, startQ, startTxns = clk.Now(), *queries, txns
 				startNIC, startFabric = rig.nicBytes(), rig.fabricBytes()
+				startCPU = *cpuNs
 			}
 			if err := runTxn(i); err != nil {
 				return sysResult{}, fmt.Errorf("table3 %s %s txn %d: %w", system, kind, i, err)
@@ -469,7 +468,12 @@ func runTable3(cfg Config) ([]*Table, error) {
 		} else {
 			d.LockProb = 0 // TATP shares nothing
 		}
-		return sysResult{res: solveSharing(d, nodes), dem: d, qPerTxn: q / dTxns}, nil
+		return sysResult{
+			res:     solveSharing(d, nodes),
+			dem:     d,
+			qPerTxn: q / dTxns,
+			cpuPerQ: float64(*cpuNs-startCPU) / q,
+		}, nil
 	}
 
 	for _, kind := range []string{"tpcc", "tatp"} {
@@ -510,6 +514,13 @@ func runTable3(cfg Config) ([]*Table, error) {
 			t.AddRow(row...)
 			t.AddRow("TATP", "memory overhead", "1.1x", "1.3x", "1x")
 		}
+		label := "TPC-C"
+		if kind != "tpcc" {
+			label = "TATP"
+		}
+		t.Notes = append(t.Notes, fmt.Sprintf(
+			"%s measured engine CPU per query: %s / %s / %s us (RDMA-10%%, RDMA-30%%, PolarCXLMem)",
+			label, f1(cols[0].cpuPerQ/1e3), f1(cols[1].cpuPerQ/1e3), f1(cols[2].cpuPerQ/1e3)))
 	}
 	t.Notes = append(t.Notes,
 		"paper: TPC-C 1.11/1.65/1.92 M TpmC; TATP 2.35/2.77/3.61 M QPS; P95 via 2.5x mean-latency proxy",

@@ -1,0 +1,50 @@
+package dataplane
+
+import (
+	"sync"
+
+	"polarcxlmem/internal/simclock"
+)
+
+// tokenBucket is one tenant's admission budget: capacity Burst tokens,
+// refilled at Rate tokens per virtual second. Buckets start FULL, so a cold
+// tenant can burst exactly Burst requests at one instant and the
+// (Burst+1)-th is rejected — the boundary the admission tests pin down.
+//
+// Refill time comes from the SUBMITTER's clock, and submitters' clocks are
+// independent, so the bucket keeps a monotone high-water mark: time never
+// runs backwards inside the bucket even when submit arrivals are observed
+// out of order.
+type tokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per virtual second
+	burst  float64
+	tokens float64
+	last   int64 // high-water virtual time of the latest refill
+}
+
+func newTokenBucket(rate float64, burst int) *tokenBucket {
+	if burst < 1 {
+		burst = 1
+	}
+	return &tokenBucket{rate: rate, burst: float64(burst), tokens: float64(burst)}
+}
+
+// take attempts to spend one token at virtual time now. It reports whether
+// the request is admitted.
+func (b *tokenBucket) take(now int64) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if now > b.last {
+		b.tokens += b.rate * float64(now-b.last) / float64(simclock.Second)
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true
+	}
+	return false
+}

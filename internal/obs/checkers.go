@@ -283,7 +283,70 @@ func (c *FrameLeakChecker) Finish() []Violation {
 	return c.snapshot()
 }
 
+// QueueChecker replays dataplane queue accounting from the dp.* event
+// stream: every transition carries the queue depth AFTER it in Aux, and the
+// events are emitted under the worker's queue mutex, so per-actor the
+// sequence must be exactly reproducible by counting — an enqueue is
+// previous depth + 1, a dequeue or discard is previous depth − 1, depth
+// never goes negative, and a quiesced router has every queue at zero.
+// Divergence means requests were lost, double-executed, or the emit-site
+// locking let events race past each other.
+type QueueChecker struct {
+	violationLog
+	depth map[string]int64 // actor -> expected queue depth
+}
+
+// NewQueueChecker builds the dataplane queue-accounting checker.
+func NewQueueChecker() *QueueChecker {
+	return &QueueChecker{
+		violationLog: violationLog{name: "dp-queue"},
+		depth:        make(map[string]int64),
+	}
+}
+
+// Name implements Checker.
+func (c *QueueChecker) Name() string { return c.name }
+
+// OnEvent implements Checker.
+func (c *QueueChecker) OnEvent(ev Event) {
+	switch ev.Type {
+	case EvDPEnqueue:
+		want := c.depth[ev.Actor] + 1
+		if ev.Aux != want {
+			c.add(ev, "%s enqueue reports depth %d, accounting says %d", ev.Actor, ev.Aux, want)
+		}
+		c.depth[ev.Actor] = ev.Aux
+	case EvDPDequeue, EvDPDiscard:
+		want := c.depth[ev.Actor] - 1
+		if want < 0 {
+			c.add(ev, "%s removed a request from an empty queue", ev.Actor)
+			want = 0
+		}
+		if ev.Aux != want {
+			c.add(ev, "%s %s reports depth %d, accounting says %d", ev.Actor, ev.Type, ev.Aux, want)
+		}
+		c.depth[ev.Actor] = ev.Aux
+		if c.depth[ev.Actor] < 0 {
+			c.depth[ev.Actor] = 0
+		}
+	}
+}
+
+// Violations implements Checker.
+func (c *QueueChecker) Violations() []Violation { return c.snapshot() }
+
+// Finish implements Checker: a non-empty queue at shutdown is a stranded
+// request — admitted but neither executed nor discarded.
+func (c *QueueChecker) Finish() []Violation {
+	for actor, d := range c.depth {
+		if d != 0 {
+			c.addTerminal(actor, 0, "stranded requests: %s still queues %d at shutdown", actor, d)
+		}
+	}
+	return c.snapshot()
+}
+
 // DefaultCheckers returns one of each invariant checker, ready to attach.
 func DefaultCheckers() []Checker {
-	return []Checker{NewStaleReadChecker(), NewLockLeakChecker(), NewFrameLeakChecker()}
+	return []Checker{NewStaleReadChecker(), NewLockLeakChecker(), NewFrameLeakChecker(), NewQueueChecker()}
 }

@@ -57,6 +57,16 @@ const (
 	// EvEvictError: Actor's frame table got an error from its EvictStore
 	// while evicting/retiring Page — the slot's contents are in doubt.
 	EvEvictError = "frame.evict.error"
+
+	// EvDPEnqueue: Actor (a dataplane worker shard) admitted a request into
+	// its queue. Page = session id, Aux = queue depth AFTER the enqueue.
+	EvDPEnqueue = "dp.enqueue"
+	// EvDPDequeue: Actor removed a request from its queue for batched
+	// execution. Page = session id, Aux = queue depth AFTER the dequeue.
+	EvDPDequeue = "dp.dequeue"
+	// EvDPDiscard: Actor dropped a queued request without executing it
+	// (router abort). Page = session id, Aux = queue depth AFTER the drop.
+	EvDPDiscard = "dp.discard"
 )
 
 // ring is a fixed-capacity event buffer; once full, new events overwrite the

@@ -1,0 +1,37 @@
+package txn
+
+import (
+	"fmt"
+
+	"polarcxlmem/internal/simclock"
+)
+
+// RunBatch executes ops as ONE transaction: a single Begin, every op's
+// statements in order, and a single Commit — so the per-transaction costs
+// the commit path pays (the commit-marker append and log force, the
+// background-flusher and checkpointer ticks, the begin/commit CPU
+// bookkeeping) are amortized over the whole batch instead of charged per
+// request. This is the execution primitive the dataplane router batches
+// front-end requests onto (see internal/dataplane).
+//
+// Semantics are all-or-nothing: if any op fails, the whole batch is rolled
+// back via logical compensation and the failing op's error is returned
+// (wrapped with its index). Ops see each other's effects — they share the
+// transaction — so independent requests batched together must not rely on
+// isolation from their batch peers; the router only batches requests that
+// are independent by construction (distinct sessions).
+func (e *Engine) RunBatch(clk *simclock.Clock, ops []func(*Txn) error) error {
+	if len(ops) == 0 {
+		return nil
+	}
+	tx := e.Begin(clk)
+	for i, op := range ops {
+		if err := op(tx); err != nil {
+			if rbErr := tx.Rollback(); rbErr != nil {
+				return fmt.Errorf("txn: batch op %d: %w (rollback also failed: %v)", i, err, rbErr)
+			}
+			return fmt.Errorf("txn: batch op %d: %w", i, err)
+		}
+	}
+	return tx.Commit()
+}

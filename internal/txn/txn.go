@@ -30,6 +30,11 @@ func (e *Engine) Begin(clk *simclock.Clock) *Txn {
 // ID reports the transaction id.
 func (t *Txn) ID() uint64 { return t.id }
 
+// Clock exposes the worker clock the transaction runs on, so callers that
+// only see the Txn — e.g. request ops executing inside a dataplane batch —
+// can charge per-statement CPU to the right clock.
+func (t *Txn) Clock() *simclock.Clock { return t.clk }
+
 func (t *Txn) active() error {
 	if t.done {
 		return fmt.Errorf("txn %d: already finished", t.id)

@@ -1,0 +1,28 @@
+package workload
+
+import "math/rand"
+
+// workerMix is a splitmix64 finalizer over (seed, worker) — the same
+// construction internal/fault's chaos harness uses for (seed, index) — so
+// adjacent workers get decorrelated streams and the whole family reproduces
+// from one base seed.
+func workerMix(seed int64, worker int) int64 {
+	x := uint64(seed)*0x9e3779b97f4a7c15 + uint64(worker+1)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int64(x)
+}
+
+// WorkerRNG derives worker w's private random stream from a base seed.
+// Workload generators take a *rand.Rand per call rather than sharing one, so
+// parallel drivers — the dataplane router's workers, parallel pump loops —
+// MUST give each worker its own child RNG: a single shared *rand.Rand races
+// under -race and makes results scheduling-dependent. Child streams are
+// deterministic functions of (seed, worker), so a parallel run's per-worker
+// sequences are reproducible regardless of interleaving.
+func WorkerRNG(seed int64, worker int) *rand.Rand {
+	return rand.New(rand.NewSource(workerMix(seed, worker)))
+}

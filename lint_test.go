@@ -1,0 +1,96 @@
+package polarcxlmem
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestNoDeadDiscards is the unused-symbol lint: it walks every .go file in
+// the repo and flags the two discard idioms that exist only to hide dead
+// code from the compiler:
+//
+//   - `var _ = expr` with no type — a package-level (or local) value
+//     evaluated and thrown away. The TYPED form `var _ Iface = expr` is a
+//     compile-time interface assertion and stays legal.
+//   - a bare `_ = ident` statement discarding a plain identifier or
+//     selector (e.g. `_ = cpuNs`, `_ = simclock.Second`) in non-test
+//     files. Discarding a call's result can be a legitimate "error
+//     intentionally ignored"; discarding a NAME is always a vestige of
+//     deleted code. Test files get latitude here (compile-only probes),
+//     non-test code does not.
+//
+// Several of these had accumulated in the bench package, masking real
+// measurement bugs (a captured-then-discarded CPU counter). This test keeps
+// them from coming back.
+func TestNoDeadDiscards(t *testing.T) {
+	fset := token.NewFileSet()
+	var bad []string
+	err := filepath.WalkDir(".", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == ".git" || name == "testdata" || strings.HasPrefix(name, ".") && path != "." {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		f, perr := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
+		if perr != nil {
+			return fmt.Errorf("parsing %s: %w", path, perr)
+		}
+		isTest := strings.HasSuffix(path, "_test.go")
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.GenDecl:
+				if node.Tok != token.VAR {
+					return true
+				}
+				for _, spec := range node.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok || vs.Type != nil || len(vs.Values) == 0 {
+						continue // typed `var _ Iface = x` is an interface assertion
+					}
+					for _, id := range vs.Names {
+						if id.Name == "_" {
+							bad = append(bad, fmt.Sprintf("%s: untyped `var _ = ...` discard", fset.Position(id.Pos())))
+						}
+					}
+				}
+			case *ast.AssignStmt:
+				if isTest || node.Tok != token.ASSIGN || len(node.Lhs) != 1 || len(node.Rhs) != 1 {
+					return true
+				}
+				lhs, ok := node.Lhs[0].(*ast.Ident)
+				if !ok || lhs.Name != "_" {
+					return true
+				}
+				switch node.Rhs[0].(type) {
+				case *ast.Ident, *ast.SelectorExpr:
+					bad = append(bad, fmt.Sprintf("%s: dead `_ = name` discard", fset.Position(node.Pos())))
+				}
+			}
+			return true
+		})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range bad {
+		t.Error(b)
+	}
+	if len(bad) > 0 {
+		t.Fatalf("%d dead discard(s); delete the vestige (or, for a call whose error is deliberately ignored, keep the call expression)", len(bad))
+	}
+}

@@ -53,6 +53,7 @@ import (
 	"polarcxlmem/internal/checkpoint"
 	"polarcxlmem/internal/core"
 	"polarcxlmem/internal/cxl"
+	"polarcxlmem/internal/dataplane"
 	"polarcxlmem/internal/fault"
 	"polarcxlmem/internal/flusher"
 	"polarcxlmem/internal/obs"
@@ -139,6 +140,15 @@ type ClusterConfig struct {
 	Fabric *cxl.TopologyConfig
 	// StorageConfig overrides the shared page-store device model.
 	Storage storage.Config
+	// Dataplane, when non-nil, puts a batched request router in front of
+	// every instance the cluster starts: sessions submit through
+	// Cluster.Router(name) instead of driving the engine directly, with
+	// admission control and per-tenant rate limits per the config (zero
+	// values mean dataplane defaults). Routers run in the concurrent drive
+	// mode; an instance crash aborts its router (queued requests complete
+	// with dataplane.ErrClosed) and Recover/Failover start a fresh one. The
+	// config's Registry defaults to the cluster's observer.
+	Dataplane *dataplane.Config
 }
 
 // Placement pins an instance's components to fabric leaves. The zero value
@@ -211,6 +221,9 @@ type Cluster struct {
 	ckptLeaves map[string]int            // instance -> checkpoint-area leaf
 	configs    map[string]InstanceConfig // as started; re-applied on Recover
 
+	dpCfg   *dataplane.Config
+	routers map[string]*dataplane.Router
+
 	reg *obs.Registry
 	inj fault.Injector
 }
@@ -237,6 +250,8 @@ func NewCluster(cfg ClusterConfig, opts ...Option) (*Cluster, error) {
 		hostLeaves: make(map[string]int),
 		ckptLeaves: make(map[string]int),
 		configs:    make(map[string]InstanceConfig),
+		dpCfg:      cfg.Dataplane,
+		routers:    make(map[string]*dataplane.Router),
 		reg:        o.reg,
 		inj:        o.inj,
 	}
@@ -379,6 +394,7 @@ func (c *Cluster) Start(cfg InstanceConfig) (*Instance, error) {
 	}
 	c.instances[cfg.Name] = inst
 	c.configs[cfg.Name] = cfg
+	c.startRouter(inst)
 	return inst, nil
 }
 
@@ -424,6 +440,34 @@ func (c *Cluster) applyInstanceOptions(inst *Instance, cfg InstanceConfig) error
 	}
 	return nil
 }
+
+// startRouter fronts an instance's engine with a running dataplane router
+// when the cluster was configured with one. Any router left from a previous
+// incarnation of the instance is aborted first.
+func (c *Cluster) startRouter(inst *Instance) {
+	if c.dpCfg == nil {
+		return
+	}
+	if old := c.routers[inst.name]; old != nil {
+		old.Abort()
+	}
+	cfg := *c.dpCfg
+	if cfg.Registry == nil {
+		cfg.Registry = c.reg
+	}
+	if cfg.Actor == "" {
+		cfg.Actor = "dp-" + inst.name
+	}
+	r := dataplane.New(inst.eng, cfg)
+	r.Run()
+	c.routers[inst.name] = r
+}
+
+// Router returns an instance's front-end request router, or nil when the
+// cluster was built without ClusterConfig.Dataplane (or the instance is
+// unknown). The router of a crashed instance is aborted; Recover and
+// Failover install a fresh one.
+func (c *Cluster) Router(name string) *dataplane.Router { return c.routers[name] }
 
 // StartInstance boots a fresh instance named name with a buffer pool of
 // poolPages CXL blocks and default options.
@@ -480,6 +524,7 @@ func (c *Cluster) Recover(name string) (*Instance, *recovery.Result, error) {
 		return nil, nil, err
 	}
 	c.instances[name] = inst
+	c.startRouter(inst)
 	return inst, res, nil
 }
 
@@ -602,6 +647,7 @@ func (c *Cluster) Failover(name string) (*Instance, *recovery.Result, error) {
 	}
 	c.placement[name] = newLeaf
 	c.instances[name] = inst
+	c.startRouter(inst)
 	return inst, res, nil
 }
 
@@ -705,12 +751,18 @@ func (i *Instance) Checkpoint() error {
 }
 
 // Crash simulates a host failure: local DRAM state and the CPU cache are
-// lost; the CXL buffer pool, the durable log, and storage survive.
+// lost; the CXL buffer pool, the durable log, and storage survive. The
+// instance's dataplane router (if any) is aborted: queued requests complete
+// with dataplane.ErrClosed, exactly what in-flight clients of a dead front
+// end observe.
 func (i *Instance) Crash() {
 	if i.crashed {
 		return
 	}
 	i.crashed = true
+	if r := i.cluster.routers[i.name]; r != nil {
+		r.Abort()
+	}
 	i.pool.Crash()
 }
 
