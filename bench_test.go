@@ -1,9 +1,13 @@
-package polarcxlmem
+package polarcxlmem_test
 
 // One testing.B benchmark per paper table/figure, plus microbenchmarks of
 // the core primitives. The experiment benches run the same drivers as
 // `polarbench` in quick mode and report the headline throughput as a custom
 // metric, so `go test -bench=.` regenerates every artifact end to end.
+//
+// This file is an external test package: internal/bench imports the facade
+// (for the tiering experiment), so importing it from an in-package test
+// would be a cycle.
 
 import (
 	"fmt"
@@ -12,6 +16,7 @@ import (
 	"strconv"
 	"testing"
 
+	polar "polarcxlmem"
 	"polarcxlmem/internal/bench"
 	"polarcxlmem/internal/buffer"
 	"polarcxlmem/internal/core"
@@ -156,7 +161,7 @@ func BenchmarkWALAppendFlush(b *testing.B) {
 }
 
 func BenchmarkSharedRMW(b *testing.B) {
-	sc, err := NewSharingCluster(SharingConfig{Nodes: 2, DBPPages: 16})
+	sc, err := polar.NewSharingCluster(polar.SharingConfig{Nodes: 2, DBPPages: 16})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -179,11 +184,11 @@ func BenchmarkSharedRMW(b *testing.B) {
 func BenchmarkPolarRecvScan(b *testing.B) {
 	// Recovery cost as a function of pool size: build once, crash/recover
 	// b.N times.
-	cluster, err := NewCluster(ClusterConfig{PoolPages: 1024})
+	cluster, err := polar.NewCluster(polar.ClusterConfig{PoolPages: 1024})
 	if err != nil {
 		b.Fatal(err)
 	}
-	inst, err := cluster.StartInstance("db", 512)
+	inst, err := cluster.Start(polar.InstanceConfig{Name: "db", PoolPages: 512})
 	if err != nil {
 		b.Fatal(err)
 	}

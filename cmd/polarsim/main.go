@@ -28,7 +28,7 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	inst, err := cluster.StartInstance("demo", *pool)
+	inst, err := cluster.Start(polarcxlmem.InstanceConfig{Name: "demo", PoolPages: *pool})
 	if err != nil {
 		fail(err)
 	}

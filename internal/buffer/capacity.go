@@ -1,0 +1,38 @@
+package buffer
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrNoCapacity is the shared capacity sentinel: a tier (a pooled CXL box,
+// the RDMA remote tier, an instance's fast-tier budget) has no room for the
+// requested allocation. The facade re-exports it; every capacity rejection
+// anywhere in the stack wraps it — usually via CapacityError — so callers
+// branch with errors.Is at any layer.
+var ErrNoCapacity = errors.New("polarcxlmem: no pool has enough free capacity")
+
+// CapacityError is the typed form of a capacity rejection: which tier ran
+// out, what was asked for, and what remains. It wraps ErrNoCapacity, so
+// errors.Is dispatch keeps working; use errors.As to read the numbers.
+type CapacityError struct {
+	// Tier names the exhausted tier: "cxl" (pooled switch memory), "remote"
+	// (the RDMA baseline's disaggregated pool), or "dram" (a fast-tier
+	// budget).
+	Tier string
+	// Requested is the amount asked for, in Unit.
+	Requested int64
+	// Free is the amount still available in that tier, in Unit.
+	Free int64
+	// Unit is "bytes" (placement) or "pages" (slot and quota accounting).
+	Unit string
+}
+
+// Error implements error.
+func (e *CapacityError) Error() string {
+	return fmt.Sprintf("%v: %s tier: requested %d %s, %d %s free",
+		ErrNoCapacity, e.Tier, e.Requested, e.Unit, e.Free, e.Unit)
+}
+
+// Unwrap makes errors.Is(err, ErrNoCapacity) true.
+func (e *CapacityError) Unwrap() error { return ErrNoCapacity }

@@ -66,7 +66,8 @@ func (r *RemoteMemory) slotFor(id uint64) (int64, error) {
 		r.free = r.free[:n-1]
 	} else {
 		if r.nextSlot+page.Size > r.capacity {
-			return 0, fmt.Errorf("buffer: remote memory full (%d pages)", r.capacity/page.Size)
+			return 0, &CapacityError{Tier: "remote", Requested: 1,
+				Free: (r.capacity - r.nextSlot) / page.Size, Unit: "pages"}
 		}
 		off = r.nextSlot
 		r.nextSlot += page.Size

@@ -26,10 +26,20 @@ type cxlFrame struct {
 // ID implements buffer.Frame.
 func (f *cxlFrame) ID() uint64 { return f.fr.ID() }
 
-// ReadAt implements page.Accessor: a load from CXL through the CPU cache.
+// ReadAt implements page.Accessor: a load from CXL through the CPU cache —
+// unless the page is promoted into the fast tier, in which case the read is
+// served from the host-DRAM mirror at DRAM cost with no CXL traffic at all.
+// The mirror is always current under this frame's latch: promotion copies
+// under a read latch, and any write latch invalidated the mirror before its
+// first store (see tier.go).
 func (f *cxlFrame) ReadAt(off int, buf []byte) error {
 	if f.released {
 		return fmt.Errorf("core: read on released frame of page %d", f.fr.ID())
+	}
+	if ft := f.pool.fastP.Load(); ft != nil && f.mode == buffer.Read {
+		if ft.lookupCopy(f.clk, f.fr.ID(), off, buf) {
+			return nil
+		}
 	}
 	return f.pool.cache.Read(f.clk, f.pool.dataRegion(f.idx), int64(off), buf)
 }

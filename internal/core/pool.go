@@ -14,6 +14,7 @@ import (
 	"polarcxlmem/internal/simcpu"
 	"polarcxlmem/internal/simmem"
 	"polarcxlmem/internal/storage"
+	"polarcxlmem/internal/tier"
 )
 
 // lruMoveWindowMult: a block touched within the last nblocks*mult Gets is
@@ -44,6 +45,12 @@ type CXLPool struct {
 
 	tab *frametab.Table
 	cst *cxlStore
+
+	// fastP is the optional inclusive DRAM fast tier (see tier.go); quota is
+	// the optional in-use block bound under it; obsRegP feeds tier.* events.
+	fastP   atomic.Pointer[fastTier]
+	quota   atomic.Int64
+	obsRegP atomic.Pointer[obs.Registry]
 
 	barrier buffer.FlushBarrier
 
@@ -146,8 +153,11 @@ func (p *CXLPool) Cache() *simcpu.Cache { return p.cache }
 func (p *CXLPool) SetFlushBarrier(fb buffer.FlushBarrier) { p.barrier = fb }
 
 // SetObserver registers the pool's frame-table metrics (frametab.cxl.*)
-// with reg; nil detaches.
-func (p *CXLPool) SetObserver(reg *obs.Registry) { p.tab.SetObserver(reg, "cxl") }
+// with reg and attaches the tier.* event emitter; nil detaches both.
+func (p *CXLPool) SetObserver(reg *obs.Registry) {
+	p.tab.SetObserver(reg, "cxl")
+	p.obsRegP.Store(reg)
+}
 
 // Stats implements buffer.Pool.
 func (p *CXLPool) Stats() buffer.Stats { return p.tab.Stats() }
@@ -305,6 +315,10 @@ func (s *cxlStore) evictOne(clk *simclock.Clock) (int64, error) {
 		if !ok {
 			continue // pinned between walk and take; re-walk the list
 		}
+		// An inclusive fast-tier mirror must not outlive its CXL home: demote
+		// before the block is dismantled (reason 2 = eviction of the durable
+		// copy; the obs TierChecker enforces this ordering).
+		p.Demote(clk, id, tier.DemoteEvict)
 		if fr.Dirty() {
 			// The block's lines may be resident (clean) in this node's
 			// cache; unlocked pages were flushed at release, so CXL holds
@@ -343,12 +357,19 @@ func (s *cxlStore) evictOne(clk *simclock.Clock) (int64, error) {
 		}
 		s.ids[idx-1] = 0
 		p.tab.Counters.Evictions.Add(1)
+		p.emitTier(clk.Now(), obs.EvFrameEvict, id, 0)
 		return idx, nil
 	}
 }
 
 // allocBlock returns a free block, evicting if necessary. cst.mu held.
+// Under a block quota (elastic allotments, see SetBlockQuota) a pool at its
+// quota evicts even when the free list is non-empty: the carved region is
+// the instance's MAXIMUM, the quota is what it currently owns.
 func (s *cxlStore) allocBlock(clk *simclock.Clock) (int64, error) {
+	if q := s.p.quota.Load(); q > 0 && int64(s.p.headLoad(clk, hInuseCount)) >= q {
+		return s.evictOne(clk)
+	}
 	if idx := s.p.popFree(clk); idx != 0 {
 		return idx, nil
 	}
@@ -458,8 +479,11 @@ func (s *cxlStore) Touched(clk *simclock.Clock, id uint64, slot any) error {
 
 // WriteLatched implements frametab.WriteLatchNotifier: persist the
 // write-lock word BEFORE any modification — if the host crashes mid-update,
-// PolarRecv sees the lock and rebuilds from redo (§3.2).
+// PolarRecv sees the lock and rebuilds from redo (§3.2). The same
+// pre-modification point invalidates the page's fast-tier mirror (reason 1 =
+// write), so a mirror can never serve bytes a writer is about to change.
 func (s *cxlStore) WriteLatched(clk *simclock.Clock, id uint64, slot any) error {
+	s.p.Demote(clk, id, tier.DemoteWrite)
 	s.p.metaStore(clk, slot.(int64), mLock, lockWritten)
 	return s.p.step("write-locked")
 }
@@ -571,6 +595,10 @@ func (p *CXLPool) DirtyResident() int { return p.tab.DirtyResident() }
 // recovery.PolarRecv.
 func (p *CXLPool) Crash() {
 	p.cache.Drop()
+	// The fast tier lives in host DRAM: it dies with the host. Recovery
+	// rebuilds from the CXL durable copies alone — the inclusive design's
+	// "CXL copy must win" guarantee is exactly this line.
+	p.fastP.Store(nil)
 	// The table stays readable (Stats on a dead pool is a diagnostic the
 	// benchmark rigs use), but the store's DRAM mirrors are gone: any page
 	// access on the crashed pool is a bug, and nilling cst makes it loud.

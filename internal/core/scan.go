@@ -9,6 +9,7 @@ import (
 	"polarcxlmem/internal/simcpu"
 	"polarcxlmem/internal/simmem"
 	"polarcxlmem/internal/storage"
+	"polarcxlmem/internal/tier"
 )
 
 // BlockInfo describes one in-use block found by the post-crash scan.
@@ -242,6 +243,8 @@ func (p *CXLPool) DropPage(clk *simclock.Clock, id uint64) error {
 	if fr == nil {
 		return fmt.Errorf("core: drop of unknown page %d", id)
 	}
+	// Like eviction: a fast-tier mirror must not outlive its CXL home.
+	p.Demote(clk, id, tier.DemoteEvict)
 	idx := fr.Slot().(int64)
 	// The block may or may not be on the (possibly rebuilt) in-use list;
 	// remove it if linked.

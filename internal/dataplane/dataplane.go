@@ -97,6 +97,12 @@ type Config struct {
 	Registry *obs.Registry
 	// Actor prefixes event actors ("<actor>/w<i>", default "dp").
 	Actor string
+	// TenantTag, when non-nil, is called on the executing worker's clock
+	// immediately before each request op runs, carrying the request's tenant
+	// id. The tiering facade wires it to tier.Heat.Bind so page touches made
+	// while the op executes are attributed to the right tenant — the link
+	// that lets per-tenant QoS budgets see through the batched front door.
+	TenantTag func(clk *simclock.Clock, tenant int)
 }
 
 func (c Config) withDefaults() Config {
@@ -397,7 +403,11 @@ func (w *worker) execBatch(batch []request) {
 	ops := make([]func(*txn.Txn) error, len(batch))
 	for i, req := range batch {
 		op := req.Op
+		tenant := req.Tenant
 		ops[i] = func(tx *txn.Txn) error {
+			if tag := w.r.cfg.TenantTag; tag != nil {
+				tag(clk, tenant)
+			}
 			t0 := clk.Now()
 			err := op(tx)
 			opNanos += clk.Now() - t0

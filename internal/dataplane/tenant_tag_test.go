@@ -1,0 +1,86 @@
+package dataplane
+
+import (
+	"sync"
+	"testing"
+
+	"polarcxlmem/internal/simclock"
+	"polarcxlmem/internal/txn"
+)
+
+// TestTenantTagPrecedesEachOp: the TenantTag hook fires on the executing
+// worker's clock immediately before every request op, carrying that
+// request's tenant — the attribution link the tiering QoS budgets rely on.
+func TestTenantTagPrecedesEachOp(t *testing.T) {
+	r := newRig(t, 100)
+
+	var mu sync.Mutex
+	var tags []int
+	last := -1
+	cfg := Config{
+		Workers:   1, // serialize execution so tag/op interleaving is exact
+		BatchSize: 4,
+		TenantTag: func(clk *simclock.Clock, tenant int) {
+			if clk == nil {
+				t.Error("TenantTag called with nil clock")
+			}
+			mu.Lock()
+			last = tenant
+			tags = append(tags, tenant)
+			mu.Unlock()
+		},
+	}
+	router := New(r.eng, cfg)
+
+	const n = 12
+	tenants := []int{3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8}
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		err := router.Submit(Request{
+			Session: i,
+			Tenant:  tenants[i],
+			Arrival: int64(i) * 1_000,
+			Op: func(tx *txn.Txn) error {
+				mu.Lock()
+				defer mu.Unlock()
+				if last != tenants[i] {
+					t.Errorf("op %d ran with last tag %d, want tenant %d", i, last, tenants[i])
+				}
+				return nil
+			},
+			Done: func(err error) {
+				if err != nil {
+					t.Errorf("request %d failed: %v", i, err)
+				}
+				wg.Done()
+			},
+		})
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	router.Drain()
+	wg.Wait()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(tags) != n {
+		t.Fatalf("TenantTag fired %d times, want %d (once per op)", len(tags), n)
+	}
+	// Every submitted tenant was tagged exactly as often as it submitted.
+	want := map[int]int{}
+	for _, tn := range tenants {
+		want[tn]++
+	}
+	got := map[int]int{}
+	for _, tn := range tags {
+		got[tn]++
+	}
+	for tn, c := range want {
+		if got[tn] != c {
+			t.Fatalf("tenant %d tagged %d times, want %d (tags %v)", tn, got[tn], c, tags)
+		}
+	}
+}

@@ -257,6 +257,17 @@ func (f *Frame) Unlock(mode Mode) {
 	}
 }
 
+// TryLock attempts the frame-local latch in mode without blocking. Tier
+// migration uses it: a promotion daemon that finds the page write-latched
+// must skip the page, not park behind the writer — parking would stall the
+// commit path that drives the daemon's own tick.
+func (f *Frame) TryLock(mode Mode) bool {
+	if mode == Write {
+		return f.latch.TryLock()
+	}
+	return f.latch.TryRLock()
+}
+
 // waitReady blocks until the frame's load settles; false means the load
 // failed and the frame was withdrawn.
 func (f *Frame) waitReady() bool {
@@ -308,7 +319,8 @@ type Table struct {
 	ring    []*Frame
 	hand    int
 
-	obsP atomic.Pointer[tableObs] // optional metrics/trace sink; may be empty
+	obsP     atomic.Pointer[tableObs]                      // optional metrics/trace sink; may be empty
+	samplerP atomic.Pointer[func(*simclock.Clock, uint64)] // optional heat sampler; see SetTouchSampler
 }
 
 // tableObs carries the table's registry handles: mirrored counters plus the
@@ -403,6 +415,28 @@ func (t *Table) SetObserver(reg *obs.Registry, name string) {
 	})
 }
 
+// SetTouchSampler installs a function called once per successful page access
+// (every hit and every miss-load, after the frame is pinned and before the
+// latch). The tier package feeds its decaying heat map from here. The sampler
+// must be cheap and must not call back into the table. A nil sampler detaches.
+//
+// The sampler runs outside every table lock and charges no simulated device
+// operations, so installing one does not perturb fault-plan op sequences.
+func (t *Table) SetTouchSampler(s func(clk *simclock.Clock, id uint64)) {
+	if s == nil {
+		t.samplerP.Store(nil)
+		return
+	}
+	t.samplerP.Store(&s)
+}
+
+// sample invokes the touch sampler, if any.
+func (t *Table) sample(clk *simclock.Clock, id uint64) {
+	if s := t.samplerP.Load(); s != nil {
+		(*s)(clk, id)
+	}
+}
+
 // Resident reports how many frames the table currently holds.
 func (t *Table) Resident() int { return int(t.resident.Load()) }
 
@@ -439,6 +473,27 @@ func (t *Table) Lookup(id uint64) *Frame {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	return sh.frames[id]
+}
+
+// TryPin pins page id when it is resident and its load has settled, without
+// blocking and without triggering a miss-load. Tier migration uses it: the
+// promotion daemon must hold a page against eviction while it copies the
+// image into the fast tier, but a page that is absent, mid-load, or already
+// gone is simply skipped (false). The caller releases the pin with Unpin.
+func (t *Table) TryPin(id uint64) (*Frame, bool) {
+	sh := t.shardOf(id)
+	sh.mu.Lock()
+	f, ok := sh.frames[id]
+	if !ok || !f.ready.Load() {
+		sh.mu.Unlock()
+		return nil, false
+	}
+	f.pins.Add(1)
+	sh.mu.Unlock()
+	if o := t.obsP.Load(); o != nil {
+		o.emit(0, obs.EvFramePin, id, 0)
+	}
+	return f, true
 }
 
 // Unpin drops one pin (lock-free; see the pins field comment).
@@ -763,6 +818,7 @@ func (t *Table) Get(clk *simclock.Clock, id uint64, mode Mode) (*Frame, error) {
 					return nil, err
 				}
 			}
+			t.sample(clk, id)
 			return t.acquire(clk, f, mode, false)
 		}
 		sh.mu.Unlock()
@@ -795,6 +851,7 @@ func (t *Table) Get(clk *simclock.Clock, id uint64, mode Mode) (*Frame, error) {
 		if o := t.obsP.Load(); o != nil {
 			o.emit(clk.Now(), obs.EvFrameLoad, id, 0)
 		}
+		t.sample(clk, id)
 		return t.acquire(clk, f, mode, false)
 	}
 }
@@ -830,6 +887,7 @@ func (t *Table) Create(clk *simclock.Clock, id uint64) (*Frame, error) {
 	if o := t.obsP.Load(); o != nil {
 		o.emit(clk.Now(), obs.EvFrameLoad, id, 0)
 	}
+	t.sample(clk, id)
 	return t.acquire(clk, f, Write, true)
 }
 

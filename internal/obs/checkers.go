@@ -346,7 +346,60 @@ func (c *QueueChecker) Finish() []Violation {
 	return c.snapshot()
 }
 
+// TierChecker replays hot/cold tier membership from the tier.* event stream:
+// a page may be promoted into the fast tier at most once before a matching
+// demote (no duplicated mirrors), never demoted while not promoted (no lost
+// accounting), and — the crash-safety core of the inclusive design — a page
+// whose durable CXL copy is evicted (frame.evict) while its fast-tier mirror
+// is still live has lost its home: the mirror would serve reads for a page
+// the pool no longer owns. Demote-on-evict (Aux=2) must therefore be emitted
+// BEFORE the frame.evict for the same page.
+type TierChecker struct {
+	violationLog
+	promoted map[pageNode]bool // (page, actor) -> mirror live in the fast tier
+}
+
+// NewTierChecker builds the tier-membership checker.
+func NewTierChecker() *TierChecker {
+	return &TierChecker{
+		violationLog: violationLog{name: "tier"},
+		promoted:     make(map[pageNode]bool),
+	}
+}
+
+// Name implements Checker.
+func (c *TierChecker) Name() string { return c.name }
+
+// OnEvent implements Checker.
+func (c *TierChecker) OnEvent(ev Event) {
+	key := pageNode{ev.Page, ev.Actor}
+	switch ev.Type {
+	case EvTierPromote:
+		if c.promoted[key] {
+			c.add(ev, "%s promoted page %d which is already in the fast tier (duplicated mirror)", ev.Actor, ev.Page)
+		}
+		c.promoted[key] = true
+	case EvTierDemote:
+		if !c.promoted[key] {
+			c.add(ev, "%s demoted page %d which is not in the fast tier (lost accounting)", ev.Actor, ev.Page)
+		}
+		delete(c.promoted, key)
+	case EvFrameEvict:
+		if c.promoted[key] {
+			c.add(ev, "%s evicted page %d's durable CXL copy while its fast-tier mirror is live (orphaned mirror)", ev.Actor, ev.Page)
+			delete(c.promoted, key)
+		}
+	}
+}
+
+// Violations implements Checker.
+func (c *TierChecker) Violations() []Violation { return c.snapshot() }
+
+// Finish implements Checker: pages still promoted at shutdown are fine (the
+// mirror is dropped with the pool), so Finish adds nothing terminal.
+func (c *TierChecker) Finish() []Violation { return c.snapshot() }
+
 // DefaultCheckers returns one of each invariant checker, ready to attach.
 func DefaultCheckers() []Checker {
-	return []Checker{NewStaleReadChecker(), NewLockLeakChecker(), NewFrameLeakChecker(), NewQueueChecker()}
+	return []Checker{NewStaleReadChecker(), NewLockLeakChecker(), NewFrameLeakChecker(), NewQueueChecker(), NewTierChecker()}
 }

@@ -67,6 +67,18 @@ const (
 	// EvDPDiscard: Actor dropped a queued request without executing it
 	// (router abort). Page = session id, Aux = queue depth AFTER the drop.
 	EvDPDiscard = "dp.discard"
+
+	// EvTierPromote: Actor's pool copied Page into its DRAM fast tier
+	// (inclusive mirror; the CXL copy stays the durable home). Aux = fast-tier
+	// resident pages AFTER the promotion.
+	EvTierPromote = "tier.promote"
+	// EvTierDemote: Actor's pool dropped Page's fast-tier mirror. Aux encodes
+	// the reason: 0 = cold (daemon policy), 1 = write invalidation, 2 = CXL
+	// eviction of the durable copy, 3 = QoS/capacity pressure.
+	EvTierDemote = "tier.demote"
+	// EvTierResize: Actor's pool changed its CXL block quota. Aux = the new
+	// quota in pages (0 = unlimited, the full carved region).
+	EvTierResize = "tier.resize"
 )
 
 // ring is a fixed-capacity event buffer; once full, new events overwrite the

@@ -1,0 +1,44 @@
+package obs
+
+import "testing"
+
+func TestTierCheckerDuplicatePromote(t *testing.T) {
+	c := NewTierChecker()
+	c.OnEvent(Event{Seq: 1, Type: EvTierPromote, Actor: "cxl", Page: 7})
+	c.OnEvent(Event{Seq: 2, Type: EvTierPromote, Actor: "cxl", Page: 7})
+	if vs := c.Violations(); !hasViolation(vs, "duplicated mirror") {
+		t.Fatalf("duplicate promote not detected: %+v", vs)
+	}
+}
+
+func TestTierCheckerDemoteOfUnpromoted(t *testing.T) {
+	c := NewTierChecker()
+	c.OnEvent(Event{Seq: 1, Type: EvTierDemote, Actor: "cxl", Page: 7})
+	if vs := c.Violations(); !hasViolation(vs, "lost accounting") {
+		t.Fatalf("phantom demote not detected: %+v", vs)
+	}
+}
+
+func TestTierCheckerOrphanedMirrorOnEvict(t *testing.T) {
+	c := NewTierChecker()
+	c.OnEvent(Event{Seq: 1, Type: EvTierPromote, Actor: "cxl", Page: 7})
+	c.OnEvent(Event{Seq: 2, Type: EvFrameEvict, Actor: "cxl", Page: 7})
+	if vs := c.Violations(); !hasViolation(vs, "orphaned mirror") {
+		t.Fatalf("evict-under-mirror not detected: %+v", vs)
+	}
+}
+
+func TestTierCheckerCleanLifecycle(t *testing.T) {
+	c := NewTierChecker()
+	// Promote -> demote -> evict is the correct ordering; a page still
+	// promoted at Finish is fine (the mirror dies with the pool).
+	c.OnEvent(Event{Seq: 1, Type: EvTierPromote, Actor: "cxl", Page: 7})
+	c.OnEvent(Event{Seq: 2, Type: EvTierDemote, Actor: "cxl", Page: 7, Aux: 2})
+	c.OnEvent(Event{Seq: 3, Type: EvFrameEvict, Actor: "cxl", Page: 7})
+	c.OnEvent(Event{Seq: 4, Type: EvTierPromote, Actor: "cxl", Page: 9})
+	// Same page id on a different actor (another pool) is independent.
+	c.OnEvent(Event{Seq: 5, Type: EvFrameEvict, Actor: "other", Page: 9})
+	if vs := c.Finish(); len(vs) != 0 {
+		t.Fatalf("clean lifecycle flagged: %+v", vs)
+	}
+}

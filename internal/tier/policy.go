@@ -1,0 +1,102 @@
+package tier
+
+import "polarcxlmem/internal/simclock"
+
+// Config defaults: a 1 ms placement cadence with a 2 ms heat half-life makes
+// the daemon converge on a shifted hot set within a few milliseconds of
+// virtual time without thrashing on transient touches.
+const (
+	DefaultHalfLifeNanos = 2 * simclock.Millisecond
+	DefaultIntervalNanos = simclock.Millisecond
+	DefaultPromoteAbove  = 2.0
+	DefaultDemoteBelow   = 0.25
+	DefaultMaxMoves      = 32
+)
+
+// Config tunes the tiering daemon. The zero value of every field except
+// FastPages selects the defaults; FastPages is required.
+type Config struct {
+	// FastPages is the fast-tier (host DRAM mirror) capacity in pages.
+	// Required: a zero fast tier makes tiering a no-op.
+	FastPages int
+	// HalfLifeNanos is the heat decay half-life in virtual nanoseconds;
+	// zero means DefaultHalfLifeNanos.
+	HalfLifeNanos int64
+	// IntervalNanos is the virtual time between placement runs; zero means
+	// DefaultIntervalNanos.
+	IntervalNanos int64
+	// PromoteAbove is the minimum heat score for promotion; zero means
+	// DefaultPromoteAbove. A page must be touched at least this many times
+	// per half-life window to earn DRAM.
+	PromoteAbove float64
+	// DemoteBelow is the heat score under which a promoted page is demoted;
+	// zero means DefaultDemoteBelow. Keeping DemoteBelow well under
+	// PromoteAbove is the hysteresis band that stops boundary pages from
+	// ping-ponging between tiers.
+	DemoteBelow float64
+	// MaxMovesPerTick bounds promotions+demotions per placement run (the
+	// daemon borrows the ticking worker's timeline, so a run must stay
+	// cheap); zero means DefaultMaxMoves.
+	MaxMovesPerTick int
+}
+
+// withDefaults resolves zero fields.
+func (c Config) withDefaults() Config {
+	if c.HalfLifeNanos <= 0 {
+		c.HalfLifeNanos = DefaultHalfLifeNanos
+	}
+	if c.IntervalNanos <= 0 {
+		c.IntervalNanos = DefaultIntervalNanos
+	}
+	if c.PromoteAbove <= 0 {
+		c.PromoteAbove = DefaultPromoteAbove
+	}
+	if c.DemoteBelow <= 0 {
+		c.DemoteBelow = DefaultDemoteBelow
+	}
+	if c.MaxMovesPerTick <= 0 {
+		c.MaxMovesPerTick = DefaultMaxMoves
+	}
+	return c
+}
+
+// QoS is the multi-tenant fast-tier budget policy: who gets DRAM under
+// pressure. The zero value is fully permissive (no per-tenant caps).
+//
+// Budget resolution for tenant t: an entry in TenantFastPages wins (and an
+// explicit 0 there means "no fast-tier pages at all" — the noisy-neighbor
+// quarantine); otherwise DefaultFastPages applies, where 0 means unlimited.
+type QoS struct {
+	// DefaultFastPages caps fast-tier pages for tenants without an explicit
+	// entry; 0 = unlimited.
+	DefaultFastPages int
+	// TenantFastPages overrides the cap per tenant id. An explicit 0 entry
+	// bars the tenant from the fast tier entirely.
+	TenantFastPages map[int]int
+}
+
+// budgetFor resolves tenant t's fast-tier cap; -1 means unlimited.
+func (q QoS) budgetFor(t int) int {
+	if q.TenantFastPages != nil {
+		if cap, ok := q.TenantFastPages[t]; ok {
+			return cap
+		}
+	}
+	if q.DefaultFastPages <= 0 {
+		return -1
+	}
+	return q.DefaultFastPages
+}
+
+// clone deep-copies the QoS so a caller mutating its map after SetQoS does
+// not race the daemon.
+func (q QoS) clone() QoS {
+	out := QoS{DefaultFastPages: q.DefaultFastPages}
+	if q.TenantFastPages != nil {
+		out.TenantFastPages = make(map[int]int, len(q.TenantFastPages))
+		for k, v := range q.TenantFastPages {
+			out.TenantFastPages[k] = v
+		}
+	}
+	return out
+}

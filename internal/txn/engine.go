@@ -20,6 +20,7 @@ import (
 	"polarcxlmem/internal/mtr"
 	"polarcxlmem/internal/simclock"
 	"polarcxlmem/internal/storage"
+	"polarcxlmem/internal/tier"
 	"polarcxlmem/internal/wal"
 )
 
@@ -42,6 +43,7 @@ type Engine struct {
 	gc atomic.Pointer[wal.GroupCommitter]
 	fl atomic.Pointer[flusher.Flusher]
 	cp atomic.Pointer[checkpoint.Checkpointer]
+	td atomic.Pointer[tier.Daemon]
 
 	mu     sync.Mutex
 	tables map[string]*btree.Tree
@@ -189,12 +191,26 @@ func (e *Engine) EnableCheckpoints(area *checkpoint.Area, pol checkpoint.Policy)
 // explicit Checkpoint calls record checkpoints.
 func (e *Engine) Checkpointer() *checkpoint.Checkpointer { return e.cp.Load() }
 
-// commitUnit makes unit durable: tick the background flusher and the fuzzy
-// checkpointer (when enabled), then append the commit marker and force it —
-// through the group committer when enabled, else inline. Both daemon ticks
-// run BEFORE the marker append on purpose: if an injected crash fires during
-// background writeback or mid-checkpoint, the unit is still uncommitted, so
-// crash-sweep shadow accounting stays exact.
+// EnableTiering attaches a hot/cold placement daemon driven from the commit
+// path, like the flusher and checkpointer: each commit ticks it, and when
+// the virtual-time placement interval has elapsed it promotes the hottest
+// pages into the pool's fast tier and demotes cold or over-budget ones. The
+// caller builds the daemon (tier.NewDaemon over a pool implementing
+// tier.Mover — see core.CXLPool.EnableTiering) so QoS policy stays in the
+// facade's hands. Call once at setup.
+func (e *Engine) EnableTiering(d *tier.Daemon) { e.td.Store(d) }
+
+// Tiering reports the engine's placement daemon, or nil when page placement
+// is static.
+func (e *Engine) Tiering() *tier.Daemon { return e.td.Load() }
+
+// commitUnit makes unit durable: tick the background flusher, the fuzzy
+// checkpointer, and the tier placement daemon (when enabled), then append
+// the commit marker and force it — through the group committer when enabled,
+// else inline. All daemon ticks run BEFORE the marker append on purpose: if
+// an injected crash fires during background writeback, mid-checkpoint, or
+// mid-promotion, the unit is still uncommitted, so crash-sweep shadow
+// accounting stays exact.
 func (e *Engine) commitUnit(clk *simclock.Clock, unit uint64) error {
 	if fl := e.fl.Load(); fl != nil {
 		if err := fl.Tick(clk); err != nil {
@@ -204,6 +220,11 @@ func (e *Engine) commitUnit(clk *simclock.Clock, unit uint64) error {
 	if cp := e.cp.Load(); cp != nil {
 		if err := cp.Tick(clk); err != nil {
 			return fmt.Errorf("txn: checkpoint before commit of unit %d: %w", unit, err)
+		}
+	}
+	if td := e.td.Load(); td != nil {
+		if err := td.Tick(clk); err != nil {
+			return fmt.Errorf("txn: tier placement before commit of unit %d: %w", unit, err)
 		}
 	}
 	rec := wal.Record{Kind: wal.KTxnCommit, Txn: unit}

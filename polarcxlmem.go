@@ -39,10 +39,16 @@
 //	fmt.Println(rec.PagesTrusted)      // buffer pool reused in place
 //	fmt.Println(reg.Snapshot().Counters["frametab.cxl.hits"])
 //
+// Instance behaviour beyond the commit pipeline — hot/cold tiering into
+// host DRAM, per-tenant QoS, elastic CXL quotas — is configured through the
+// consolidated InstanceConfig.Policy surface and adjusted at runtime with
+// Cluster.Resize and Cluster.SetQoS. See docs/tiering.md.
+//
 // Failures are reported through typed sentinels — ErrNoCapacity,
 // ErrInstanceExists, ErrUnknownInstance, ErrCrashed, ErrNotCrashed — always
-// wrapped, so callers branch with errors.Is. See docs/commit-pipeline.md for
-// the group-commit and background-flush knobs.
+// wrapped, so callers branch with errors.Is. Capacity rejections carry a
+// *CapacityError (which tier, how much was left) for errors.As. See
+// docs/commit-pipeline.md for the group-commit and background-flush knobs.
 package polarcxlmem
 
 import (
@@ -50,6 +56,7 @@ import (
 	"fmt"
 
 	"polarcxlmem/internal/btree"
+	"polarcxlmem/internal/buffer"
 	"polarcxlmem/internal/checkpoint"
 	"polarcxlmem/internal/core"
 	"polarcxlmem/internal/cxl"
@@ -60,6 +67,7 @@ import (
 	"polarcxlmem/internal/recovery"
 	"polarcxlmem/internal/simclock"
 	"polarcxlmem/internal/storage"
+	"polarcxlmem/internal/tier"
 	"polarcxlmem/internal/txn"
 	"polarcxlmem/internal/wal"
 )
@@ -68,9 +76,12 @@ import (
 // these (with instance names and sizes in the wrapping message), so callers
 // dispatch with errors.Is instead of matching strings.
 var (
-	// ErrNoCapacity: no switch domain has enough unallocated CXL memory for
-	// the requested buffer pool.
-	ErrNoCapacity = errors.New("polarcxlmem: no pool has enough free capacity")
+	// ErrNoCapacity: a tier has no room — no switch domain has enough
+	// unallocated CXL memory for the requested buffer pool, a resize asked
+	// for more than the instance's reservation, or a baseline's remote pool
+	// overflowed. Re-exported from the buffer layer so every producer wraps
+	// the same sentinel; rejections carry a *CapacityError with the numbers.
+	ErrNoCapacity = buffer.ErrNoCapacity
 	// ErrInstanceExists: the instance name is already taken on this cluster.
 	ErrInstanceExists = errors.New("polarcxlmem: instance already exists")
 	// ErrUnknownInstance: no instance with that name was ever started here.
@@ -124,9 +135,18 @@ func WithInjector(inj fault.Injector) Option {
 	return func(o *clusterOptions) { o.inj = inj }
 }
 
-// ClusterConfig sizes a CXL cluster.
+// ClusterConfig sizes a CXL cluster. The fields group by the layer they
+// drive: PoolPages/Pools/Fabric shape the CXL fabric (internal/cxl),
+// Storage shapes the shared page store (internal/storage), and Dataplane
+// fronts every instance with a request router (internal/dataplane).
+// Per-instance behaviour — buffer pool, commit pipeline, checkpointing,
+// tiering policy — lives on InstanceConfig instead.
 type ClusterConfig struct {
-	// PoolPages is each CXL memory box's capacity in 16 KB page blocks.
+	// --- Fabric (internal/cxl): switches, trunks, memory boxes ---
+
+	// PoolPages is each CXL memory box's capacity in 16 KB page blocks. It
+	// bounds the sum of the carves placed on one box (for elastic instances
+	// the carve is Policy.Quota.MaxPages, not the initial allotment).
 	PoolPages int64
 	// Pools is the number of leaf switches — each a switch plus its memory
 	// box — in the rack's fabric (the paper's Figure 5 deployment has two).
@@ -138,8 +158,15 @@ type ClusterConfig struct {
 	// (leaf count, per-tier bandwidths, inter-switch latency), overriding
 	// Pools. A zero Fabric.PoolBytes is sized from PoolPages.
 	Fabric *cxl.TopologyConfig
-	// StorageConfig overrides the shared page-store device model.
+
+	// --- Shared storage (internal/storage) ---
+
+	// Storage overrides the shared page-store device model every instance's
+	// volume and redo log are provisioned from.
 	Storage storage.Config
+
+	// --- Front end (internal/dataplane) ---
+
 	// Dataplane, when non-nil, puts a batched request router in front of
 	// every instance the cluster starts: sessions submit through
 	// Cluster.Router(name) instead of driving the engine directly, with
@@ -147,7 +174,9 @@ type ClusterConfig struct {
 	// values mean dataplane defaults). Routers run in the concurrent drive
 	// mode; an instance crash aborts its router (queued requests complete
 	// with dataplane.ErrClosed) and Recover/Failover start a fresh one. The
-	// config's Registry defaults to the cluster's observer.
+	// config's Registry defaults to the cluster's observer. When an instance
+	// has Policy.Tiering, its router also tags each request's tenant onto
+	// the worker clock so page heat is attributed per tenant for QoS.
 	Dataplane *dataplane.Config
 }
 
@@ -171,14 +200,25 @@ type Placement struct {
 }
 
 // InstanceConfig describes one database instance. Name and PoolPages are
-// required; everything else defaults to the classic inline pipeline.
+// required; everything else defaults to the classic inline pipeline. The
+// fields group by layer: sizing (core buffer pool + simcpu cache), the
+// commit pipeline (wal/flusher/checkpoint daemons on the txn engine),
+// placement (which fabric leaves hold what), and Policy (tiering, QoS, and
+// elastic quotas — internal/tier plus the core fast tier).
 type InstanceConfig struct {
+	// --- Identity and sizing (core buffer pool, simcpu cache) ---
+
 	// Name identifies the instance on its cluster (unique).
 	Name string
-	// PoolPages sizes the CXL buffer pool in 16 KB blocks.
+	// PoolPages sizes the CXL buffer pool in 16 KB blocks. With
+	// Policy.Quota set this is the INITIAL logical allotment (the physical
+	// carve is Quota.MaxPages); adjust it live with Cluster.Resize.
 	PoolPages int64
 	// CacheBytes sizes the host-side CPU cache model (default 8 MiB).
 	CacheBytes int64
+
+	// --- Commit pipeline (internal/wal, flusher, checkpoint on txn) ---
+
 	// GroupCommit, when non-nil, routes commit markers through a group
 	// committer with this policy (zero value = defaults). Concurrent
 	// committers share fsyncs; a lone committer behaves exactly like the
@@ -189,10 +229,6 @@ type InstanceConfig struct {
 	// paying inline write-back, at the cost of flusher ticks on the commit
 	// path. Survives crash/recovery (re-applied by Cluster.Recover).
 	BackgroundFlush *flusher.Policy
-	// Placement, when non-nil, pins the instance's host and buffer pool to
-	// fabric leaves instead of the default policy (pool on the emptiest box,
-	// host co-located with it). Preserved across Recover.
-	Placement *Placement
 	// Checkpoint, when non-nil, enables continuous fuzzy checkpointing with
 	// this policy (zero value = defaults): a 128-byte CXL-durable checkpoint
 	// area is allocated next to the buffer pool, the checkpointer publishes
@@ -203,6 +239,22 @@ type InstanceConfig struct {
 	// nil). Survives crash/recovery: Cluster.Recover starts redo from the
 	// checkpoint area and re-arms the checkpointer.
 	Checkpoint *checkpoint.Policy
+
+	// --- Placement (internal/cxl fabric leaves) ---
+
+	// Placement, when non-nil, pins the instance's host and buffer pool to
+	// fabric leaves instead of the default policy (pool on the emptiest box,
+	// host co-located with it). Preserved across Recover.
+	Placement *Placement
+
+	// --- Policy (internal/tier + core fast tier + facade ledger) ---
+
+	// Policy, when non-nil, attaches the consolidated tiering/QoS/quota
+	// policy surface: hot pages mirrored into host DRAM, per-tenant
+	// fast-tier budgets, and a runtime-elastic CXL allotment. See Policy's
+	// field docs; preserved (with runtime Resize/SetQoS adjustments) across
+	// Recover and Failover.
+	Policy *Policy
 }
 
 // Cluster is a rack-scale CXL fabric — leaf switches, each fronting a
@@ -219,7 +271,8 @@ type Cluster struct {
 	placement  map[string]int            // instance -> pool (box) leaf index
 	hostLeaves map[string]int            // instance -> host attachment leaf
 	ckptLeaves map[string]int            // instance -> checkpoint-area leaf
-	configs    map[string]InstanceConfig // as started; re-applied on Recover
+	configs    map[string]InstanceConfig // as started (PoolPages tracks Resize); re-applied on Recover
+	qos        map[string]tier.QoS       // runtime SetQoS overrides; re-applied on Recover
 
 	dpCfg   *dataplane.Config
 	routers map[string]*dataplane.Router
@@ -250,6 +303,7 @@ func NewCluster(cfg ClusterConfig, opts ...Option) (*Cluster, error) {
 		hostLeaves: make(map[string]int),
 		ckptLeaves: make(map[string]int),
 		configs:    make(map[string]InstanceConfig),
+		qos:        make(map[string]tier.QoS),
 		dpCfg:      cfg.Dataplane,
 		routers:    make(map[string]*dataplane.Router),
 		reg:        o.reg,
@@ -279,22 +333,25 @@ func NewCluster(cfg ClusterConfig, opts ...Option) (*Cluster, error) {
 }
 
 // place picks the leaf whose memory box has the most unallocated memory for
-// a new allocation of size bytes, or an error if nothing fits. Failed
-// (powered-off) boxes are never candidates.
+// a new allocation of size bytes, or a *CapacityError if nothing fits.
+// Failed (powered-off) boxes are never candidates.
 func (c *Cluster) place(size int64) (int, error) {
-	best, bestFree := -1, int64(-1)
+	best, bestFree, maxFree := -1, int64(-1), int64(0)
 	for i := 0; i < c.topo.Leaves(); i++ {
 		if c.topo.BoxFailed(i) {
 			continue
 		}
 		box := c.topo.Leaf(i).Box()
 		free := box.Device().Size() - box.Manager().Allocated()
+		if free > maxFree {
+			maxFree = free
+		}
 		if free >= size && free > bestFree {
 			best, bestFree = i, free
 		}
 	}
 	if best < 0 {
-		return 0, fmt.Errorf("%w for %d bytes (pools: %d)", ErrNoCapacity, size, c.topo.Leaves())
+		return 0, &CapacityError{Tier: "cxl", Requested: size, Free: maxFree, Unit: "bytes"}
 	}
 	return best, nil
 }
@@ -307,6 +364,7 @@ type Instance struct {
 	pool    *core.CXLPool
 	eng     *txn.Engine
 	ckpt    *checkpoint.Area // nil unless InstanceConfig.Checkpoint set
+	tierd   *tier.Daemon     // nil unless Policy.Tiering set
 	crashed bool
 }
 
@@ -323,6 +381,19 @@ func (c *Cluster) Start(cfg InstanceConfig) (*Instance, error) {
 	if cfg.CacheBytes <= 0 {
 		cfg.CacheBytes = 8 << 20
 	}
+	if pol := cfg.Policy; pol != nil {
+		if pol.Tiering != nil && pol.Tiering.FastPages <= 0 {
+			return nil, fmt.Errorf("polarcxlmem: instance %q Policy.Tiering.FastPages must be > 0", cfg.Name)
+		}
+		if pol.Quota != nil {
+			if err := pol.Quota.validate(cfg.Name, cfg.PoolPages); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Elastic instances carve their CXL reservation at Quota.MaxPages up
+	// front; PoolPages is just the initial logical allotment within it.
+	carve := carvedPages(cfg)
 	if _, ok := c.instances[cfg.Name]; ok {
 		return nil, fmt.Errorf("%w: %q", ErrInstanceExists, cfg.Name)
 	}
@@ -337,7 +408,7 @@ func (c *Cluster) Start(cfg InstanceConfig) (*Instance, error) {
 	}
 	if poolLeaf < 0 {
 		var err error
-		if poolLeaf, err = c.place(core.RegionSizeFor(cfg.PoolPages)); err != nil {
+		if poolLeaf, err = c.place(core.RegionSizeFor(carve)); err != nil {
 			return nil, err
 		}
 	}
@@ -348,7 +419,7 @@ func (c *Cluster) Start(cfg InstanceConfig) (*Instance, error) {
 	if err != nil {
 		return nil, err
 	}
-	region, err := host.AllocateOn(clk, poolLeaf, cfg.Name, core.RegionSizeFor(cfg.PoolPages))
+	region, err := host.AllocateOn(clk, poolLeaf, cfg.Name, core.RegionSizeFor(carve))
 	if err != nil {
 		return nil, err
 	}
@@ -390,6 +461,9 @@ func (c *Cluster) Start(cfg InstanceConfig) (*Instance, error) {
 		c.ckptLeaves[cfg.Name] = ckptLeaf
 	}
 	if err := c.applyInstanceOptions(inst, cfg); err != nil {
+		return nil, err
+	}
+	if err := c.applyPolicy(inst, cfg); err != nil {
 		return nil, err
 	}
 	c.instances[cfg.Name] = inst
@@ -458,6 +532,11 @@ func (c *Cluster) startRouter(inst *Instance) {
 	if cfg.Actor == "" {
 		cfg.Actor = "dp-" + inst.name
 	}
+	if cfg.TenantTag == nil && inst.tierd != nil {
+		// Tiering: bind each request's tenant to the worker clock so page
+		// touches under it are heat-attributed to that tenant (QoS input).
+		cfg.TenantTag = inst.tierd.Heat().Bind
+	}
 	r := dataplane.New(inst.eng, cfg)
 	r.Run()
 	c.routers[inst.name] = r
@@ -468,15 +547,6 @@ func (c *Cluster) startRouter(inst *Instance) {
 // unknown). The router of a crashed instance is aborted; Recover and
 // Failover install a fresh one.
 func (c *Cluster) Router(name string) *dataplane.Router { return c.routers[name] }
-
-// StartInstance boots a fresh instance named name with a buffer pool of
-// poolPages CXL blocks and default options.
-//
-// Deprecated: use Start with an InstanceConfig, which also exposes cache
-// sizing and the group-commit/background-flush pipeline.
-func (c *Cluster) StartInstance(name string, poolPages int64) (*Instance, error) {
-	return c.Start(InstanceConfig{Name: name, PoolPages: poolPages})
-}
 
 // Recover restarts a crashed instance with PolarRecv: the surviving CXL
 // buffer pool is scanned, in-flight pages are rebuilt from redo, everything
@@ -521,6 +591,9 @@ func (c *Cluster) Recover(name string) (*Instance, *recovery.Result, error) {
 	}
 	inst := &Instance{name: name, cluster: c, clk: clk, pool: pool, eng: eng, ckpt: area}
 	if err := c.applyInstanceOptions(inst, cfg); err != nil {
+		return nil, nil, err
+	}
+	if err := c.applyPolicy(inst, cfg); err != nil {
 		return nil, nil, err
 	}
 	c.instances[name] = inst
@@ -595,7 +668,7 @@ func (c *Cluster) Failover(name string) (*Instance, *recovery.Result, error) {
 	if cfg.CacheBytes <= 0 {
 		cfg.CacheBytes = 8 << 20
 	}
-	size := core.RegionSizeFor(cfg.PoolPages)
+	size := core.RegionSizeFor(carvedPages(cfg))
 	newLeaf, err := c.place(size)
 	if err != nil {
 		return nil, nil, err
@@ -643,6 +716,9 @@ func (c *Cluster) Failover(name string) (*Instance, *recovery.Result, error) {
 		inst.ckpt = fresh
 	}
 	if err := c.applyInstanceOptions(inst, cfg); err != nil {
+		return nil, nil, err
+	}
+	if err := c.applyPolicy(inst, cfg); err != nil {
 		return nil, nil, err
 	}
 	c.placement[name] = newLeaf
@@ -705,6 +781,10 @@ func (i *Instance) Pool() *core.CXLPool { return i.pool }
 // CheckpointArea exposes the CXL-durable checkpoint record, or nil when the
 // instance was started without InstanceConfig.Checkpoint.
 func (i *Instance) CheckpointArea() *checkpoint.Area { return i.ckpt }
+
+// Tiering exposes the instance's placement daemon (heat map, stats, QoS),
+// or nil when it was started without Policy.Tiering.
+func (i *Instance) Tiering() *tier.Daemon { return i.tierd }
 
 func (i *Instance) alive() error {
 	if i.crashed {

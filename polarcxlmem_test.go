@@ -15,7 +15,7 @@ func TestFacadeLifecycle(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	inst, err := cluster.StartInstance("db0", 64)
+	inst, err := cluster.Start(InstanceConfig{Name: "db0", PoolPages: 64})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +69,7 @@ func TestFacadeLifecycle(t *testing.T) {
 
 func TestFacadeCrashRecover(t *testing.T) {
 	cluster, _ := NewCluster(ClusterConfig{PoolPages: 128})
-	inst, _ := cluster.StartInstance("db0", 64)
+	inst, _ := cluster.Start(InstanceConfig{Name: "db0", PoolPages: 64})
 	tbl, _ := inst.CreateTable("t")
 	tx := inst.Begin()
 	for k := int64(0); k < 100; k++ {
@@ -118,10 +118,10 @@ func TestFacadeCrashRecover(t *testing.T) {
 
 func TestFacadeDuplicateInstance(t *testing.T) {
 	cluster, _ := NewCluster(ClusterConfig{PoolPages: 128})
-	if _, err := cluster.StartInstance("a", 32); err != nil {
+	if _, err := cluster.Start(InstanceConfig{Name: "a", PoolPages: 32}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := cluster.StartInstance("a", 32); err == nil {
+	if _, err := cluster.Start(InstanceConfig{Name: "a", PoolPages: 32}); err == nil {
 		t.Fatal("duplicate instance accepted")
 	}
 }
@@ -149,8 +149,8 @@ func TestFacadeTypedErrors(t *testing.T) {
 	if _, err := cluster.Start(InstanceConfig{Name: "db0", PoolPages: 8}); !errors.Is(err, ErrInstanceExists) {
 		t.Fatalf("duplicate Start err = %v, want ErrInstanceExists", err)
 	}
-	if _, err := cluster.StartInstance("db0", 8); !errors.Is(err, ErrInstanceExists) {
-		t.Fatalf("duplicate StartInstance err = %v, want ErrInstanceExists", err)
+	if _, err := cluster.Start(InstanceConfig{Name: "db0", PoolPages: 8}); !errors.Is(err, ErrInstanceExists) {
+		t.Fatalf("duplicate Start err = %v, want ErrInstanceExists", err)
 	}
 
 	// ErrUnknownInstance: recovering a name never started.
@@ -232,11 +232,11 @@ func TestMultiPoolPlacement(t *testing.T) {
 		t.Fatal("rack has wrong domain count")
 	}
 	// Each instance needs ~48 blocks; one pool holds one such instance.
-	a, err := cluster.StartInstance("a", 48)
+	a, err := cluster.Start(InstanceConfig{Name: "a", PoolPages: 48})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := cluster.StartInstance("b", 48)
+	b, err := cluster.Start(InstanceConfig{Name: "b", PoolPages: 48})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -246,11 +246,11 @@ func TestMultiPoolPlacement(t *testing.T) {
 		t.Fatalf("both instances placed on domain %d", pa)
 	}
 	// A third instance of the same size cannot fit anywhere.
-	if _, err := cluster.StartInstance("c", 48); err == nil {
+	if _, err := cluster.Start(InstanceConfig{Name: "c", PoolPages: 48}); err == nil {
 		t.Fatal("over-capacity placement accepted")
 	}
 	// But a small one can.
-	if _, err := cluster.StartInstance("small", 8); err != nil {
+	if _, err := cluster.Start(InstanceConfig{Name: "small", PoolPages: 8}); err != nil {
 		t.Fatal(err)
 	}
 	// Crash/recover an instance: it must come back on its original domain

@@ -1,0 +1,324 @@
+package polarcxlmem
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"polarcxlmem/internal/obs"
+	"polarcxlmem/internal/simclock"
+	"polarcxlmem/internal/tier"
+)
+
+// bigRow is a 512-byte row value stamped with its key: large enough that a
+// few hundred rows span dozens of 16 KiB leaves, so small block quotas
+// actually bind.
+func bigRow(k int64) []byte {
+	b := make([]byte, 512)
+	copy(b, fmt.Sprintf("row-%04d", k))
+	return b
+}
+
+// tieredConfig is a tiering policy tuned for tests: place on every commit,
+// slow decay, so a handful of touches promotes deterministically.
+func tieredConfig(fastPages int) *tier.Config {
+	return &tier.Config{
+		FastPages:     fastPages,
+		IntervalNanos: 1,
+		HalfLifeNanos: 100 * simclock.Millisecond,
+	}
+}
+
+func TestPolicyValidation(t *testing.T) {
+	cluster, err := NewCluster(ClusterConfig{PoolPages: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		cfg  InstanceConfig
+	}{
+		{"zero FastPages", InstanceConfig{Name: "a", PoolPages: 32,
+			Policy: &Policy{Tiering: &tier.Config{}}}},
+		{"zero MaxPages", InstanceConfig{Name: "b", PoolPages: 32,
+			Policy: &Policy{Quota: &QuotaPolicy{}}}},
+		{"MinPages over MaxPages", InstanceConfig{Name: "c", PoolPages: 32,
+			Policy: &Policy{Quota: &QuotaPolicy{MinPages: 64, MaxPages: 32}}}},
+		{"PoolPages over MaxPages", InstanceConfig{Name: "d", PoolPages: 64,
+			Policy: &Policy{Quota: &QuotaPolicy{MaxPages: 32}}}},
+		{"PoolPages under MinPages", InstanceConfig{Name: "e", PoolPages: 4,
+			Policy: &Policy{Quota: &QuotaPolicy{MinPages: 8, MaxPages: 32}}}},
+	}
+	for _, c := range cases {
+		if _, err := cluster.Start(c.cfg); err == nil {
+			t.Errorf("%s: Start accepted invalid policy", c.name)
+		}
+	}
+}
+
+func TestPlacementCapacityErrorTyped(t *testing.T) {
+	cluster, err := NewCluster(ClusterConfig{PoolPages: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = cluster.Start(InstanceConfig{Name: "big", PoolPages: 1 << 20})
+	if !errors.Is(err, ErrNoCapacity) {
+		t.Fatalf("err = %v, want ErrNoCapacity", err)
+	}
+	var ce *CapacityError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %v, want *CapacityError", err)
+	}
+	if ce.Tier != "cxl" || ce.Unit != "bytes" || ce.Requested <= 0 {
+		t.Fatalf("capacity error = %+v", ce)
+	}
+}
+
+func TestResizeElasticAllotment(t *testing.T) {
+	cluster, err := NewCluster(ClusterConfig{PoolPages: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := cluster.Start(InstanceConfig{
+		Name:      "db0",
+		PoolPages: 16,
+		Policy:    &Policy{Quota: &QuotaPolicy{MinPages: 8, MaxPages: 64}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := cluster.AllotmentOf("db0"); got != 16 {
+		t.Fatalf("initial allotment = %d, want 16", got)
+	}
+	if got := inst.Pool().BlockQuota(); got != 16 {
+		t.Fatalf("initial quota = %d, want 16", got)
+	}
+	// Load more data than the allotment; the working set spills via quota
+	// evictions even though the carve has free blocks.
+	tbl, err := inst.CreateTable("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := inst.Begin()
+	for k := int64(1); k <= 400; k++ {
+		if err := tx.Insert(tbl, k, bigRow(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if got := inst.Pool().Resident(); int64(got) > 16 {
+		t.Fatalf("resident %d exceeds 16-page allotment", got)
+	}
+	// The dataset genuinely overflows the allotment: the quota was binding.
+	if err := inst.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Grow into the reservation.
+	if err := cluster.Resize("db0", 64); err != nil {
+		t.Fatal(err)
+	}
+	if got := inst.Pool().BlockQuota(); got != 64 {
+		t.Fatalf("quota after grow = %d, want 64", got)
+	}
+	if got, _ := cluster.AllotmentOf("db0"); got != 64 {
+		t.Fatalf("allotment after grow = %d, want 64", got)
+	}
+
+	// Beyond the carve: typed capacity rejection.
+	err = cluster.Resize("db0", 65)
+	if !errors.Is(err, ErrNoCapacity) {
+		t.Fatalf("over-carve resize err = %v, want ErrNoCapacity", err)
+	}
+	var ce *CapacityError
+	if !errors.As(err, &ce) || ce.Tier != "cxl" || ce.Unit != "pages" || ce.Requested != 65 || ce.Free != 64 {
+		t.Fatalf("capacity error = %+v", ce)
+	}
+
+	// Below the floor.
+	if err := cluster.Resize("db0", 4); err == nil {
+		t.Fatal("resize below MinPages accepted")
+	}
+	// Shrink back down: overflow evicts, data survives.
+	if err := cluster.Resize("db0", 8); err != nil {
+		t.Fatal(err)
+	}
+	if got := inst.Pool().Resident(); int64(got) > 8 {
+		t.Fatalf("resident %d exceeds shrunk 8-page allotment", got)
+	}
+	tx2 := inst.Begin()
+	for _, k := range []int64{1, 200, 400} {
+		if v, err := tx2.Get(tbl, k); err != nil || !bytes.Equal(v, bigRow(k)) {
+			t.Fatalf("get %d after shrink = %.16q, %v", k, v, err)
+		}
+	}
+	if err := tx2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Non-elastic and unknown instances.
+	if _, err := cluster.Start(InstanceConfig{Name: "static", PoolPages: 16}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cluster.Resize("static", 32); err == nil {
+		t.Fatal("Resize on a quota-less instance accepted")
+	}
+	if err := cluster.Resize("ghost", 32); !errors.Is(err, ErrUnknownInstance) {
+		t.Fatalf("Resize unknown err = %v, want ErrUnknownInstance", err)
+	}
+}
+
+func TestResizeSurvivesRecover(t *testing.T) {
+	cluster, err := NewCluster(ClusterConfig{PoolPages: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := cluster.Start(InstanceConfig{
+		Name:      "db0",
+		PoolPages: 32,
+		Policy: &Policy{
+			Quota:   &QuotaPolicy{MinPages: 8, MaxPages: 64},
+			Tiering: tieredConfig(8),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := inst.CreateTable("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := inst.Begin()
+	for k := int64(1); k <= 50; k++ {
+		if err := tx.Insert(tbl, k, []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cluster.Resize("db0", 12); err != nil {
+		t.Fatal(err)
+	}
+	cluster.SetQoS("db0", tier.QoS{DefaultFastPages: 3})
+
+	inst.Crash()
+	inst2, _, err := cluster.Recover("db0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The resized allotment, the tiering daemon, and the runtime QoS all
+	// survive recovery.
+	if got := inst2.Pool().BlockQuota(); got != 12 {
+		t.Fatalf("quota after recover = %d, want 12", got)
+	}
+	if got, _ := cluster.AllotmentOf("db0"); got != 12 {
+		t.Fatalf("allotment after recover = %d, want 12", got)
+	}
+	if inst2.Tiering() == nil {
+		t.Fatal("tiering daemon not re-armed by Recover")
+	}
+	if got := inst2.Tiering().QoS().DefaultFastPages; got != 3 {
+		t.Fatalf("QoS after recover = %d, want 3", got)
+	}
+	tx2 := inst2.Begin()
+	if v, err := tx2.Get(tbl, 25); err != nil || string(v) != "v" {
+		t.Fatalf("get after recover = %q, %v", v, err)
+	}
+	if err := tx2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTieringPromotesHotSetThroughFacade(t *testing.T) {
+	reg := obs.New(obs.Options{})
+	for _, c := range obs.DefaultCheckers() {
+		reg.AddChecker(c)
+	}
+	cluster, err := NewCluster(ClusterConfig{PoolPages: 256}, WithObserver(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := cluster.Start(InstanceConfig{
+		Name:      "db0",
+		PoolPages: 64,
+		Policy:    &Policy{Tiering: tieredConfig(8)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.Tiering() == nil || !inst.Pool().TieringEnabled() {
+		t.Fatal("Policy.Tiering did not arm the daemon")
+	}
+	tbl, err := inst.CreateTable("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := inst.Begin()
+	for k := int64(1); k <= 300; k++ {
+		if err := tx.Insert(tbl, k, []byte(fmt.Sprintf("row-%04d", k))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Hammer a small hot set; each commit ticks the placement daemon.
+	for round := 0; round < 20; round++ {
+		tx := inst.Begin()
+		for _, k := range []int64{7, 8, 9} {
+			if _, err := tx.Get(tbl, k); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := inst.Tiering().Stats()
+	if st.Runs == 0 || st.Promotions == 0 {
+		t.Fatalf("daemon stats = %+v, want runs and promotions > 0", st)
+	}
+	if hits := inst.Pool().FastHits(); hits == 0 {
+		t.Fatal("no reads served from the fast tier")
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["tier.db0.promotions"] == 0 {
+		t.Fatalf("tier.db0.promotions counter = 0; counters: %v", snap.Counters)
+	}
+	for _, v := range reg.Finish() {
+		t.Errorf("checker violation: %s: %s", v.Checker, v.Detail)
+	}
+}
+
+func TestSetQoSRequiresTiering(t *testing.T) {
+	cluster, err := NewCluster(ClusterConfig{PoolPages: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cluster.Start(InstanceConfig{Name: "plain", PoolPages: 16}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cluster.SetQoS("plain", tier.QoS{DefaultFastPages: 1}); err == nil {
+		t.Fatal("SetQoS on a tiering-less instance accepted")
+	}
+	if err := cluster.SetQoS("ghost", tier.QoS{}); !errors.Is(err, ErrUnknownInstance) {
+		t.Fatalf("SetQoS unknown err = %v, want ErrUnknownInstance", err)
+	}
+	inst, err := cluster.Start(InstanceConfig{
+		Name: "tiered", PoolPages: 16,
+		Policy: &Policy{Tiering: tieredConfig(4)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cluster.SetQoS("tiered", tier.QoS{DefaultFastPages: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if got := inst.Tiering().QoS().DefaultFastPages; got != 2 {
+		t.Fatalf("live QoS = %d, want 2", got)
+	}
+}
